@@ -1,0 +1,198 @@
+//! Bulyan — Multi-Krum selection followed by a trimmed coordinate-wise fold.
+
+use tensor::Tensor;
+
+use crate::gar::validate_inputs;
+use crate::krum::{Krum, ScoreMetric};
+use crate::{AggregationError, Gar, Result};
+
+/// Bulyan (El-Mhamdi et al., ICML 2018) over Krum.
+///
+/// Bulyan defends against the "hidden vulnerability" of distance-based rules
+/// in high dimension: an attacker can stay close in L2 norm while planting a
+/// huge error in one coordinate. It proceeds in two phases:
+///
+/// 1. **Selection**: repeatedly run [`Krum`] on the remaining inputs, moving
+///    each winner into a selection set `S`, until `|S| = n - 2f`.
+/// 2. **Fold**: for each coordinate, average the `n - 4f` values of `S`
+///    closest to the coordinate's median.
+///
+/// Requires `n ≥ 4f + 3`. It is included as an ablation comparator for
+/// GuanYu's server-side GAR.
+#[derive(Debug, Clone, Copy)]
+pub struct Bulyan {
+    f: usize,
+    metric: ScoreMetric,
+}
+
+impl Bulyan {
+    /// Creates Bulyan declared to withstand `f ≥ 1` Byzantine inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::InvalidConfig`] when `f = 0`.
+    pub fn new(f: usize) -> Result<Self> {
+        if f == 0 {
+            return Err(AggregationError::InvalidConfig(
+                "bulyan requires f >= 1".to_owned(),
+            ));
+        }
+        Ok(Bulyan {
+            f,
+            metric: ScoreMetric::default(),
+        })
+    }
+
+    /// Replaces the score metric used by the inner Krum.
+    pub fn with_metric(mut self, metric: ScoreMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The declared Byzantine input count.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+}
+
+impl Gar for Bulyan {
+    fn name(&self) -> String {
+        format!("bulyan(f={})", self.f)
+    }
+
+    fn minimum_inputs(&self) -> usize {
+        4 * self.f + 3
+    }
+
+    fn byzantine_tolerance(&self) -> usize {
+        self.f
+    }
+
+    fn aggregate(&self, inputs: &[Tensor]) -> Result<Tensor> {
+        let dims = validate_inputs(inputs, self.minimum_inputs())?;
+        let n = inputs.len();
+        let select_count = n - 2 * self.f;
+        let beta = n - 4 * self.f;
+
+        // Phase 1: iterated Krum selection.
+        let krum = Krum::new(self.f)?.with_metric(self.metric);
+        let mut remaining: Vec<Tensor> = inputs.to_vec();
+        let mut selected: Vec<Tensor> = Vec::with_capacity(select_count);
+        while selected.len() < select_count {
+            // Krum needs 2f+3 inputs; as `remaining` shrinks below that we
+            // can safely take all of them — the adversary's `f` vectors are
+            // already outnumbered in the selection set.
+            if remaining.len() >= krum.minimum_inputs() {
+                let winner = krum.aggregate(&remaining)?;
+                let pos = remaining
+                    .iter()
+                    .position(|t| t == &winner)
+                    .expect("krum returns one of its inputs");
+                selected.push(remaining.swap_remove(pos));
+            } else {
+                selected.push(remaining.swap_remove(0));
+            }
+        }
+
+        // Phase 2: per-coordinate, average the beta values closest to the
+        // median of the selection set.
+        let volume: usize = dims.iter().product();
+        let m = selected.len();
+        let mut out = vec![0.0f32; volume];
+        let mut column = vec![0.0f32; m];
+        for (i, o) in out.iter_mut().enumerate() {
+            for (j, t) in selected.iter().enumerate() {
+                column[j] = t.as_slice()[i];
+            }
+            column.sort_unstable_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+            let median = if m % 2 == 1 {
+                column[m / 2]
+            } else {
+                0.5 * (column[m / 2 - 1] + column[m / 2])
+            };
+            // The beta closest-to-median values form a contiguous window of
+            // the sorted column; find the best window.
+            let mut best_start = 0usize;
+            let mut best_spread = f32::INFINITY;
+            for start in 0..=(m - beta) {
+                let lo = column[start];
+                let hi = column[start + beta - 1];
+                let spread = (hi - median).abs().max((lo - median).abs());
+                if spread < best_spread {
+                    best_spread = spread;
+                    best_start = start;
+                }
+            }
+            let window = &column[best_start..best_start + beta];
+            *o = window.iter().sum::<f32>() / beta as f32;
+        }
+        Ok(Tensor::from_vec(out, &dims)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_f_zero() {
+        assert!(Bulyan::new(0).is_err());
+    }
+
+    #[test]
+    fn requires_4f_plus_3() {
+        let b = Bulyan::new(1).unwrap();
+        assert_eq!(b.minimum_inputs(), 7);
+        let xs = vec![Tensor::zeros(&[1]); 6];
+        assert!(b.aggregate(&xs).is_err());
+    }
+
+    #[test]
+    fn all_equal_inputs_fixed_point() {
+        let xs = vec![Tensor::from_flat(vec![2.0, -3.0]); 7];
+        let out = Bulyan::new(1).unwrap().aggregate(&xs).unwrap();
+        assert_eq!(out.as_slice(), &[2.0, -3.0]);
+    }
+
+    #[test]
+    fn resists_l2_close_single_coordinate_attack() {
+        // The "hidden vulnerability" scenario: the Byzantine vector matches
+        // the honest cluster except for one poisoned coordinate.
+        let mut xs: Vec<Tensor> = (0..6)
+            .map(|i| {
+                let mut v = vec![1.0f32; 10];
+                v[0] += 0.01 * i as f32;
+                Tensor::from_flat(v)
+            })
+            .collect();
+        let mut byz = vec![1.0f32; 10];
+        byz[5] = 50.0; // large planted error in coordinate 5
+        xs.push(Tensor::from_flat(byz));
+        let out = Bulyan::new(1).unwrap().aggregate(&xs).unwrap();
+        assert!(
+            (out.as_slice()[5] - 1.0).abs() < 0.5,
+            "poisoned coordinate must be filtered, got {}",
+            out.as_slice()[5]
+        );
+    }
+
+    #[test]
+    fn resists_far_outliers() {
+        let mut xs: Vec<Tensor> = (0..6)
+            .map(|i| Tensor::from_flat(vec![0.1 * i as f32, 1.0]))
+            .collect();
+        xs.push(Tensor::from_flat(vec![1e8, -1e8]));
+        let out = Bulyan::new(1).unwrap().aggregate(&xs).unwrap();
+        assert!(out.as_slice()[0].abs() < 1.0);
+        assert!((out.as_slice()[1] - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let xs: Vec<Tensor> = (0..7)
+            .map(|i| Tensor::from_flat(vec![i as f32, -(i as f32)]))
+            .collect();
+        let b = Bulyan::new(1).unwrap();
+        assert_eq!(b.aggregate(&xs).unwrap(), b.aggregate(&xs).unwrap());
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for aggregation rules.
+
+use std::fmt;
+
+use tensor::TensorError;
+
+/// Errors produced by gradient aggregation rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggregationError {
+    /// The rule was invoked with no inputs.
+    Empty,
+    /// The rule needs at least `required` inputs (for its declared `f`) but
+    /// received `actual`.
+    ///
+    /// Multi-Krum with `f` Byzantine inputs requires `n ≥ 2f + 3`; Bulyan
+    /// requires `n ≥ 4f + 3`.
+    NotEnoughInputs {
+        /// Minimum input count the rule requires.
+        required: usize,
+        /// Number of inputs actually provided.
+        actual: usize,
+    },
+    /// Input vectors do not all share one shape.
+    ShapeMismatch {
+        /// Shape of the first input.
+        expected: Vec<usize>,
+        /// Shape of the offending input.
+        found: Vec<usize>,
+        /// Index of the offending input.
+        index: usize,
+    },
+    /// An input contained NaN or infinite coordinates.
+    ///
+    /// Robust rules are only meaningful over finite vectors: a NaN coordinate
+    /// would corrupt sorting-based selection. Callers should drop such
+    /// messages (they are necessarily Byzantine).
+    NonFiniteInput {
+        /// Index of the offending input.
+        index: usize,
+    },
+    /// The rule was constructed with an invalid parameter, e.g. `f = 0` for
+    /// Krum variants that require `f ≥ 1`.
+    InvalidConfig(String),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for AggregationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregationError::Empty => write!(f, "aggregation requires at least one input"),
+            AggregationError::NotEnoughInputs { required, actual } => {
+                write!(f, "aggregation requires {required} inputs, got {actual}")
+            }
+            AggregationError::ShapeMismatch {
+                expected,
+                found,
+                index,
+            } => write!(
+                f,
+                "input {index} has shape {found:?}, expected {expected:?}"
+            ),
+            AggregationError::NonFiniteInput { index } => {
+                write!(f, "input {index} contains NaN or infinite coordinates")
+            }
+            AggregationError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            AggregationError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AggregationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AggregationError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for AggregationError {
+    fn from(e: TensorError) -> Self {
+        AggregationError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_not_enough_inputs() {
+        let e = AggregationError::NotEnoughInputs {
+            required: 5,
+            actual: 3,
+        };
+        assert_eq!(e.to_string(), "aggregation requires 5 inputs, got 3");
+    }
+
+    #[test]
+    fn from_tensor_error() {
+        let e: AggregationError = TensorError::Empty.into();
+        assert!(matches!(e, AggregationError::Tensor(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_non_finite() {
+        let e = AggregationError::NonFiniteInput { index: 2 };
+        assert!(e.to_string().contains("input 2"));
+    }
+}

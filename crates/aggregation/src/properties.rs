@@ -1,0 +1,243 @@
+//! Geometric properties underpinning the paper's convergence proof.
+//!
+//! The proof of GuanYu rests on two lemmas about its aggregation rules:
+//!
+//! * **Multi-Krum bounded deviation** (supplementary §9.2.2): the output of
+//!   `F` over a quorum containing at most `f` Byzantine vectors stays within
+//!   a constant multiple of the honest inputs' diameter of the honest
+//!   cluster.
+//! * **Coordinate-wise median containment & contraction** (supplementary
+//!   §9.2.3): with a majority of honest inputs, `M`'s output lies inside the
+//!   smallest axis-aligned box (rectangular parallelotope) containing the
+//!   honest inputs; medians over two overlapping honest quorums are
+//!   therefore at most one honest "box diagonal" apart, and in expectation
+//!   strictly closer — the contraction that stops honest servers drifting.
+//!
+//! This module provides the measurement functions; `tests/properties.rs`
+//! and the crate's proptest suites use them to validate the lemmas on random
+//! and adversarial inputs, and `guanyu::contraction` uses them to regenerate
+//! the paper's Table 2.
+
+use tensor::Tensor;
+
+use crate::{AggregationError, Result};
+
+/// Maximum pairwise Euclidean distance among `points`.
+///
+/// Returns 0.0 for zero or one point.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::ShapeMismatch`] when shapes disagree.
+pub fn diameter(points: &[Tensor]) -> Result<f32> {
+    let mut best = 0.0f32;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let d = points[i].distance(&points[j]).map_err(AggregationError::from)?;
+            if d > best {
+                best = d;
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// The smallest axis-aligned box containing `points`, as `(low, high)`
+/// per-coordinate bound tensors.
+///
+/// This is the "rectangular parallelotope" of the paper's §9.2.3.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::Empty`] when `points` is empty and
+/// [`AggregationError::ShapeMismatch`] when shapes disagree.
+pub fn bounding_box(points: &[Tensor]) -> Result<(Tensor, Tensor)> {
+    let first = points.first().ok_or(AggregationError::Empty)?;
+    let mut low = first.clone();
+    let mut high = first.clone();
+    for p in &points[1..] {
+        if p.dims() != first.dims() {
+            return Err(AggregationError::ShapeMismatch {
+                expected: first.dims().to_vec(),
+                found: p.dims().to_vec(),
+                index: 0,
+            });
+        }
+        for ((l, h), &v) in low
+            .as_mut_slice()
+            .iter_mut()
+            .zip(high.as_mut_slice())
+            .zip(p.as_slice())
+        {
+            if v < *l {
+                *l = v;
+            }
+            if v > *h {
+                *h = v;
+            }
+        }
+    }
+    Ok((low, high))
+}
+
+/// Whether `point` lies within the axis-aligned box spanned by
+/// `(low, high)`, allowing tolerance `eps` per coordinate.
+pub fn box_contains(low: &Tensor, high: &Tensor, point: &Tensor, eps: f32) -> bool {
+    point
+        .as_slice()
+        .iter()
+        .zip(low.as_slice())
+        .zip(high.as_slice())
+        .all(|((&p, &l), &h)| p >= l - eps && p <= h + eps)
+}
+
+/// Diagonal length of the box spanned by `points` — the bound the
+/// containment lemma gives on how far two medians over honest quorums can
+/// be from each other.
+///
+/// # Errors
+///
+/// Same conditions as [`bounding_box`].
+pub fn box_diagonal(points: &[Tensor]) -> Result<f32> {
+    let (low, high) = bounding_box(points)?;
+    Ok(high.sub(&low).map_err(AggregationError::from)?.norm())
+}
+
+/// Deviation ratio of an aggregate: distance from `aggregate` to the honest
+/// barycentre, divided by the honest diameter.
+///
+/// The bounded-deviation lemma says this ratio is bounded by a constant
+/// `c'` independent of the Byzantine inputs. Degenerate case: when the
+/// honest diameter is 0 the ratio is reported as the absolute distance.
+///
+/// # Errors
+///
+/// Returns tensor shape errors via [`AggregationError::Tensor`].
+pub fn deviation_ratio(aggregate: &Tensor, honest: &[Tensor]) -> Result<f32> {
+    let center = Tensor::mean_of(honest).map_err(AggregationError::from)?;
+    let dist = aggregate.distance(&center).map_err(AggregationError::from)?;
+    let diam = diameter(honest)?;
+    if diam == 0.0 {
+        Ok(dist)
+    } else {
+        Ok(dist / diam)
+    }
+}
+
+/// Empirical contraction factor of an aggregation map.
+///
+/// Given the honest vectors *before* (`inputs`) and the honest aggregates
+/// *after* (`outputs`) one application of the rule across nodes, returns
+/// `diameter(outputs) / diameter(inputs)`. The contraction lemma predicts a
+/// value `m < 1` in expectation once vectors are roughly aligned.
+/// Degenerate case: 0-diameter inputs give a factor of 0 (already collapsed).
+///
+/// # Errors
+///
+/// Returns shape errors via [`AggregationError`].
+pub fn contraction_factor(inputs: &[Tensor], outputs: &[Tensor]) -> Result<f32> {
+    let din = diameter(inputs)?;
+    let dout = diameter(outputs)?;
+    if din == 0.0 {
+        Ok(0.0)
+    } else {
+        Ok(dout / din)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoordinateWiseMedian, Gar, MultiKrum};
+
+    #[test]
+    fn diameter_of_pair() {
+        let a = Tensor::from_flat(vec![0.0, 0.0]);
+        let b = Tensor::from_flat(vec![3.0, 4.0]);
+        assert_eq!(diameter(&[a, b]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn diameter_degenerate() {
+        assert_eq!(diameter(&[]).unwrap(), 0.0);
+        assert_eq!(diameter(&[Tensor::zeros(&[3])]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn bounding_box_simple() {
+        let pts = vec![
+            Tensor::from_flat(vec![1.0, 5.0]),
+            Tensor::from_flat(vec![3.0, 2.0]),
+        ];
+        let (low, high) = bounding_box(&pts).unwrap();
+        assert_eq!(low.as_slice(), &[1.0, 2.0]);
+        assert_eq!(high.as_slice(), &[3.0, 5.0]);
+        assert!(box_contains(&low, &high, &pts[0], 0.0));
+        assert!(box_contains(
+            &low,
+            &high,
+            &Tensor::from_flat(vec![2.0, 3.0]),
+            0.0
+        ));
+        assert!(!box_contains(
+            &low,
+            &high,
+            &Tensor::from_flat(vec![0.0, 3.0]),
+            0.0
+        ));
+    }
+
+    #[test]
+    fn box_diagonal_matches_norm() {
+        let pts = vec![
+            Tensor::from_flat(vec![0.0, 0.0]),
+            Tensor::from_flat(vec![3.0, 4.0]),
+        ];
+        assert_eq!(box_diagonal(&pts).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn median_containment_lemma_smoke() {
+        // 5 honest + 2 Byzantine: the median must stay in the honest box.
+        let honest: Vec<Tensor> = (0..5)
+            .map(|i| Tensor::from_flat(vec![i as f32 * 0.1, 1.0 - i as f32 * 0.05]))
+            .collect();
+        let mut all = honest.clone();
+        all.push(Tensor::from_flat(vec![1e9, -1e9]));
+        all.push(Tensor::from_flat(vec![-1e9, 1e9]));
+        let m = CoordinateWiseMedian::new().aggregate(&all).unwrap();
+        let (low, high) = bounding_box(&honest).unwrap();
+        assert!(box_contains(&low, &high, &m, 1e-6));
+    }
+
+    #[test]
+    fn multikrum_bounded_deviation_smoke() {
+        let honest: Vec<Tensor> = (0..8)
+            .map(|i| Tensor::from_flat(vec![1.0 + 0.1 * i as f32, -2.0]))
+            .collect();
+        let mut all = honest.clone();
+        all.push(Tensor::from_flat(vec![4e7, 1e7]));
+        let agg = MultiKrum::new(1).unwrap().aggregate(&all).unwrap();
+        let ratio = deviation_ratio(&agg, &honest).unwrap();
+        assert!(ratio < 2.0, "deviation ratio {ratio} too large");
+    }
+
+    #[test]
+    fn contraction_factor_collapsed_inputs() {
+        let xs = vec![Tensor::zeros(&[2]); 3];
+        assert_eq!(contraction_factor(&xs, &xs).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn contraction_factor_halving() {
+        let ins = vec![
+            Tensor::from_flat(vec![0.0]),
+            Tensor::from_flat(vec![2.0]),
+        ];
+        let outs = vec![
+            Tensor::from_flat(vec![0.5]),
+            Tensor::from_flat(vec![1.5]),
+        ];
+        assert_eq!(contraction_factor(&ins, &outs).unwrap(), 0.5);
+    }
+}

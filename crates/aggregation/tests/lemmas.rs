@@ -1,0 +1,228 @@
+//! Property-based validation of the paper's two aggregation lemmas.
+//!
+//! * §9.2.2 (Multi-Krum bounded deviation): with `n ≥ 2f + 3` inputs of
+//!   which at most `f` are adversarial, the Multi-Krum output stays within a
+//!   constant multiple of the honest diameter of the honest cluster — for
+//!   **any** placement of the adversarial vectors.
+//! * §9.2.3 (median containment / contraction): with a majority of honest
+//!   inputs, the coordinate-wise median lies inside the honest bounding box;
+//!   hence two medians over quorums sharing the honest majority are at most
+//!   one honest box-diagonal apart.
+
+use aggregation::properties::{
+    bounding_box, box_contains, box_diagonal, deviation_ratio, diameter,
+};
+use aggregation::{CoordinateWiseMedian, Gar, MultiKrum, TrimmedMean};
+use proptest::prelude::*;
+use tensor::Tensor;
+
+/// Strategy: a cluster of `n` honest vectors of dimension `d` with
+/// coordinates in [-scale, scale], plus `f` adversarial vectors anywhere in
+/// [-BIG, BIG].
+fn honest_and_byzantine(
+    n: usize,
+    f: usize,
+    d: usize,
+    scale: f32,
+) -> impl Strategy<Value = (Vec<Tensor>, Vec<Tensor>)> {
+    let honest = proptest::collection::vec(
+        proptest::collection::vec(-scale..scale, d),
+        n,
+    );
+    let byz = proptest::collection::vec(
+        proptest::collection::vec(-1e6f32..1e6, d),
+        f,
+    );
+    (honest, byz).prop_map(|(hs, bs)| {
+        (
+            hs.into_iter().map(Tensor::from_flat).collect(),
+            bs.into_iter().map(Tensor::from_flat).collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Median containment: every coordinate of M(honest ∪ byz) lies within
+    /// the honest per-coordinate range whenever honest strictly outnumber
+    /// Byzantine by more than f (here n = 2f+1 honest majority or better).
+    #[test]
+    fn median_stays_in_honest_box(
+        (honest, byz) in honest_and_byzantine(7, 3, 5, 10.0)
+    ) {
+        let mut all = honest.clone();
+        all.extend(byz);
+        let m = CoordinateWiseMedian::new().aggregate(&all).unwrap();
+        let (low, high) = bounding_box(&honest).unwrap();
+        prop_assert!(box_contains(&low, &high, &m, 1e-4));
+    }
+
+    /// Two medians over different Byzantine completions of the same honest
+    /// majority are at most one honest box-diagonal apart (the geometric
+    /// core of the contraction lemma).
+    #[test]
+    fn medians_over_shared_majority_are_close(
+        (honest, byz_a) in honest_and_byzantine(9, 4, 4, 5.0),
+        byz_b in proptest::collection::vec(
+            proptest::collection::vec(-1e6f32..1e6, 4), 4)
+    ) {
+        let rule = CoordinateWiseMedian::new();
+        let mut qa = honest.clone();
+        qa.extend(byz_a);
+        let mut qb = honest.clone();
+        qb.extend(byz_b.into_iter().map(Tensor::from_flat));
+        let ma = rule.aggregate(&qa).unwrap();
+        let mb = rule.aggregate(&qb).unwrap();
+        let diag = box_diagonal(&honest).unwrap();
+        prop_assert!(
+            ma.distance(&mb).unwrap() <= diag + 1e-3,
+            "medians {} apart, honest diagonal {}",
+            ma.distance(&mb).unwrap(), diag
+        );
+    }
+
+    /// Multi-Krum bounded deviation: the aggregate never strays more than a
+    /// small constant times the honest diameter from the honest barycentre,
+    /// regardless of where the f Byzantine vectors sit.
+    #[test]
+    fn multikrum_bounded_deviation(
+        (honest, byz) in honest_and_byzantine(9, 2, 6, 10.0)
+    ) {
+        let mut all = honest.clone();
+        all.extend(byz);
+        let agg = MultiKrum::new(2).unwrap().aggregate(&all).unwrap();
+        let ratio = deviation_ratio(&agg, &honest).unwrap();
+        // c' from §9.2.2 depends on (q̄, f̄); for q̄=11, f̄=2 a ratio of 3 is a
+        // conservative empirical envelope (observed max ≈ 1.2).
+        prop_assert!(ratio < 3.0, "deviation ratio {ratio}");
+    }
+
+    /// Multi-Krum with all-honest inputs stays close to the arithmetic mean
+    /// (it averages all but the 2 highest-scoring inputs).
+    #[test]
+    fn multikrum_all_honest_near_mean(
+        honest in proptest::collection::vec(
+            proptest::collection::vec(-1.0f32..1.0, 4), 9)
+    ) {
+        let xs: Vec<Tensor> = honest.into_iter().map(Tensor::from_flat).collect();
+        let agg = MultiKrum::new(1).unwrap().aggregate(&xs).unwrap();
+        let mean = Tensor::mean_of(&xs).unwrap();
+        let diam = diameter(&xs).unwrap();
+        prop_assert!(agg.distance(&mean).unwrap() <= diam + 1e-5);
+    }
+
+    /// Trimmed mean containment: same box property as the median.
+    #[test]
+    fn trimmed_mean_stays_in_honest_box(
+        (honest, byz) in honest_and_byzantine(7, 2, 5, 10.0)
+    ) {
+        let mut all = honest.clone();
+        all.extend(byz);
+        let t = TrimmedMean::new(2).unwrap().aggregate(&all).unwrap();
+        let (low, high) = bounding_box(&honest).unwrap();
+        prop_assert!(box_contains(&low, &high, &t, 1e-4));
+    }
+
+    /// Permutation invariance: every deterministic rule must ignore input
+    /// order (honest nodes receive messages in arbitrary order under
+    /// asynchrony).
+    #[test]
+    fn rules_are_permutation_invariant(
+        vecs in proptest::collection::vec(
+            proptest::collection::vec(-10.0f32..10.0, 3), 9),
+        seed in 0u64..1000
+    ) {
+        let xs: Vec<Tensor> = vecs.into_iter().map(Tensor::from_flat).collect();
+        let mut shuffled = xs.clone();
+        // cheap deterministic shuffle driven by the seed
+        let n = shuffled.len();
+        let mut s = seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let median = CoordinateWiseMedian::new();
+        prop_assert_eq!(
+            median.aggregate(&xs).unwrap(),
+            median.aggregate(&shuffled).unwrap()
+        );
+        let mk = MultiKrum::new(1).unwrap();
+        let a = mk.aggregate(&xs).unwrap();
+        let b = mk.aggregate(&shuffled).unwrap();
+        prop_assert!(a.distance(&b).unwrap() < 1e-3);
+    }
+
+    /// The median of an even/odd mix never invents values: each output
+    /// coordinate lies within [min, max] of ALL inputs.
+    #[test]
+    fn median_never_extrapolates(
+        vecs in proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, 4), 2..12)
+    ) {
+        let xs: Vec<Tensor> = vecs.into_iter().map(Tensor::from_flat).collect();
+        let m = CoordinateWiseMedian::new().aggregate(&xs).unwrap();
+        let (low, high) = bounding_box(&xs).unwrap();
+        prop_assert!(box_contains(&low, &high, &m, 1e-5));
+    }
+}
+
+/// Deterministic adversarial scenario: the adversary mirrors the honest
+/// cluster at a huge offset, the classic attack on averaging. Multi-Krum
+/// and median both survive; average does not.
+#[test]
+fn robust_rules_survive_mirror_attack_average_does_not() {
+    let honest: Vec<Tensor> = (0..7)
+        .map(|i| Tensor::from_flat(vec![1.0 + 0.01 * i as f32, -1.0]))
+        .collect();
+    let attack: Vec<Tensor> = (0..2)
+        .map(|_| Tensor::from_flat(vec![-1e7, 1e7]))
+        .collect();
+    let mut all = honest.clone();
+    all.extend(attack);
+
+    let mk = MultiKrum::new(2).unwrap().aggregate(&all).unwrap();
+    assert!(mk.distance(&honest[0]).unwrap() < 0.5);
+
+    let med = CoordinateWiseMedian::new().aggregate(&all).unwrap();
+    assert!(med.distance(&honest[0]).unwrap() < 0.5);
+
+    let avg = aggregation::Average::new().aggregate(&all).unwrap();
+    assert!(avg.distance(&honest[0]).unwrap() > 1e5);
+}
+
+/// The contraction effect measured end-to-end: honest "servers" hold
+/// dispersed vectors; after each exchanges and medians a quorum that shares
+/// the honest majority, the diameter shrinks.
+#[test]
+fn median_exchange_contracts_diameter() {
+    use aggregation::properties::contraction_factor;
+
+    // 4 honest servers with dispersed parameter vectors.
+    let honest: Vec<Tensor> = vec![
+        Tensor::from_flat(vec![0.0, 0.0, 0.0]),
+        Tensor::from_flat(vec![1.0, 0.5, -0.5]),
+        Tensor::from_flat(vec![0.5, 1.0, 0.5]),
+        Tensor::from_flat(vec![-0.5, 0.5, 1.0]),
+    ];
+    let rule = CoordinateWiseMedian::new();
+    // Each server medians all honest vectors plus one Byzantine vector that
+    // tries to stretch the spread (worst direction per server).
+    let outputs: Vec<Tensor> = (0..4)
+        .map(|i| {
+            let mut quorum = honest.clone();
+            quorum.push(Tensor::from_flat(vec![
+                1e3 * (i as f32 - 1.5),
+                -1e3 * (i as f32),
+                1e3,
+            ]));
+            rule.aggregate(&quorum).unwrap()
+        })
+        .collect();
+    let factor = contraction_factor(&honest, &outputs).unwrap();
+    assert!(
+        factor < 1.0,
+        "median exchange must contract the honest diameter, got {factor}"
+    );
+}

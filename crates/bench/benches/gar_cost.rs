@@ -1,0 +1,49 @@
+//! Criterion bench: aggregation-rule cost vs input count and dimension.
+//!
+//! Backs the paper's §5.3 discussion of robust-aggregation overhead
+//! (Multi-Krum is Θ(n²d), the median Θ(n d log n), averaging Θ(n d)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use aggregation::{Average, Bulyan, CoordinateWiseMedian, Gar, MultiKrum, TrimmedMean};
+use tensor::{Tensor, TensorRng};
+
+fn inputs(n: usize, d: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = TensorRng::new(seed);
+    (0..n).map(|_| rng.normal_tensor(&[d], 0.0, 1.0)).collect()
+}
+
+fn bench_gars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gar_cost");
+    for &(n, d) in &[(9usize, 1_000usize), (18, 1_000), (13, 100_000)] {
+        let xs = inputs(n, d, 42);
+        let label = format!("n{n}_d{d}");
+        group.bench_with_input(BenchmarkId::new("average", &label), &xs, |b, xs| {
+            let rule = Average::new();
+            b.iter(|| rule.aggregate(black_box(xs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("median", &label), &xs, |b, xs| {
+            let rule = CoordinateWiseMedian::new();
+            b.iter(|| rule.aggregate(black_box(xs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("multi-krum", &label), &xs, |b, xs| {
+            let rule = MultiKrum::new(2).unwrap();
+            b.iter(|| rule.aggregate(black_box(xs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("trimmed-mean", &label), &xs, |b, xs| {
+            let rule = TrimmedMean::new(2).unwrap();
+            b.iter(|| rule.aggregate(black_box(xs)).unwrap())
+        });
+        if n >= 11 {
+            group.bench_with_input(BenchmarkId::new("bulyan", &label), &xs, |b, xs| {
+                let rule = Bulyan::new(2).unwrap();
+                b.iter(|| rule.aggregate(black_box(xs)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gars);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: gradient computation cost of the models.
+//!
+//! Grounds the cost model's `gradient_secs` constant: one forward+backward
+//! of the experiment CNN and of the paper's full 1.75M-parameter CNN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nn::{models, softmax_cross_entropy};
+use tensor::TensorRng;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_compute");
+    group.sample_size(10);
+
+    // The experiment-scale CNN at the batch sizes fig3 uses.
+    for &batch in &[8usize, 32] {
+        let mut rng = TensorRng::new(1);
+        let mut model = models::small_cnn(8, 8, 10, &mut rng);
+        let x = rng.uniform_tensor(&[batch, 3, 8, 8], -1.0, 1.0);
+        let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
+        group.bench_with_input(
+            BenchmarkId::new("small_cnn_fwd_bwd", batch),
+            &batch,
+            |b, _| {
+                b.iter(|| {
+                    model.zero_grads();
+                    let logits = model.forward(black_box(&x), true).unwrap();
+                    let (_, dl) = softmax_cross_entropy(&logits, &labels).unwrap();
+                    model.backward(&dl).unwrap();
+                    model.grad_vector()
+                })
+            },
+        );
+    }
+
+    // One sample through the paper's full CNN (batch 1 keeps the bench
+    // seconds-scale; cost scales linearly in batch).
+    {
+        let mut rng = TensorRng::new(2);
+        let mut model = models::paper_cnn(&mut rng);
+        let x = rng.uniform_tensor(&[1, 3, 32, 32], -1.0, 1.0);
+        let labels = vec![0usize];
+        group.bench_function("paper_cnn_fwd_bwd_batch1", |b| {
+            b.iter(|| {
+                model.zero_grads();
+                let logits = model.forward(black_box(&x), true).unwrap();
+                let (_, dl) = softmax_cross_entropy(&logits, &labels).unwrap();
+                model.backward(&dl).unwrap();
+                model.grad_vector()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: wire-format encode/decode cost vs vector size.
+//!
+//! Quantifies the serialization leg of the paper's low-level-runtime
+//! overhead (§4: tensors → byte frames → tensors on every hop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use guanyu_runtime::{decode, encode, WireMsg};
+use tensor::{Tensor, TensorRng};
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialization");
+    for &d in &[1_000usize, 100_000, 1_750_000] {
+        let mut rng = TensorRng::new(7);
+        let msg = WireMsg::Gradient {
+            step: 3,
+            grad: rng.normal_tensor(&[d], 0.0, 1.0),
+        };
+        group.throughput(Throughput::Bytes((d * 4) as u64));
+        group.bench_with_input(BenchmarkId::new("encode", d), &msg, |b, msg| {
+            b.iter(|| encode(black_box(msg)))
+        });
+        let frame = encode(&msg);
+        group.bench_with_input(BenchmarkId::new("decode", d), &frame, |b, frame| {
+            b.iter(|| decode(black_box(frame.clone())).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("roundtrip", d),
+            &msg,
+            |b, msg| b.iter(|| decode(encode(black_box(msg))).unwrap()),
+        );
+    }
+    let _ = Tensor::zeros(&[1]);
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

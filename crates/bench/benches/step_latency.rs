@@ -1,0 +1,47 @@
+//! Criterion bench: one full protocol step of each system.
+//!
+//! Measures the real (host) cost of a lockstep round — gradient compute +
+//! aggregation + exchange — for the vanilla baseline vs full GuanYu, the
+//! in-process analogue of the paper's throughput metric.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use data::{synthetic_cifar, SyntheticConfig};
+use guanyu::config::ClusterConfig;
+use guanyu::lockstep::{LockstepConfig, LockstepTrainer};
+use nn::models;
+use tensor::TensorRng;
+
+fn trainer(guanyu: bool) -> LockstepTrainer {
+    let (train, test) = synthetic_cifar(&SyntheticConfig {
+        train: 256,
+        test: 32,
+        side: 8,
+        ..Default::default()
+    })
+    .unwrap();
+    let cfg = if guanyu {
+        LockstepConfig::guanyu(ClusterConfig::new(6, 1, 18, 5).unwrap(), 1)
+    } else {
+        LockstepConfig::vanilla(18, true, 1)
+    };
+    LockstepTrainer::new(cfg, |rng: &mut TensorRng| models::small_cnn(8, 8, 10, rng), train, test)
+        .unwrap()
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_latency");
+    group.sample_size(10);
+    group.bench_function("vanilla_step", |b| {
+        let mut t = trainer(false);
+        b.iter(|| t.step().unwrap())
+    });
+    group.bench_function("guanyu_step", |b| {
+        let mut t = trainer(true);
+        b.iter(|| t.step().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

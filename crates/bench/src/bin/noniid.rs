@@ -1,0 +1,75 @@
+//! Extension experiment: GuanYu under non-IID worker data.
+//!
+//! The paper's proof assumes i.i.d. worker gradients (assumption 3).
+//! Federated deployments violate it: each worker's data is label-skewed.
+//! Distance-based selection rules like Multi-Krum are known to penalise
+//! honest-but-different gradients, so heterogeneity is the natural stress
+//! test of the paper's assumptions. This bin sweeps the Dirichlet
+//! concentration α (low α = heavy skew) and compares Multi-Krum against
+//! the coordinate-wise median at the servers.
+//!
+//! Usage: `noniid [--steps 200] [--seed 8] [--quick]`
+
+use aggregation::GarKind;
+use data::{label_skew, partition_indices, synthetic_cifar, Partition};
+use guanyu::experiment::{run, ExperimentConfig, SystemKind};
+use guanyu_bench::{arg, flag, save_json};
+
+fn main() {
+    let steps: u64 = arg("steps", if flag("quick") { 60 } else { 200 });
+    let seed: u64 = arg("seed", 8);
+
+    println!("Non-IID extension | GuanYu (6,1,18,5) | {steps} steps | Dirichlet sweep\n");
+    println!(
+        "{:<14} {:>12} {:<14} {:>12} {:>12}",
+        "partition", "label skew", "server GAR", "best acc", "final loss"
+    );
+
+    let partitions = [
+        ("iid", Partition::Iid),
+        ("dir(a=10)", Partition::Dirichlet { alpha: 10.0 }),
+        ("dir(a=0.5)", Partition::Dirichlet { alpha: 0.5 }),
+        ("dir(a=0.1)", Partition::Dirichlet { alpha: 0.1 }),
+        ("shards(2)", Partition::Shards { classes_per_worker: 2 }),
+    ];
+    let gars = [GarKind::MultiKrum, GarKind::Median];
+
+    let mut results = Vec::new();
+    for (pname, partition) in partitions {
+        // Measure the skew this partition induces at this seed.
+        let mut data_cfg = ExperimentConfig::paper_shaped(seed).data;
+        data_cfg.seed = seed;
+        let (train, _) = synthetic_cifar(&data_cfg).expect("dataset");
+        let skew = match partition {
+            Partition::Iid => 0.0,
+            other => {
+                let shards = partition_indices(&train, 13, other, seed).expect("partition");
+                label_skew(&train, &shards)
+            }
+        };
+        for gar in gars {
+            let mut cfg = ExperimentConfig::paper_shaped(seed);
+            cfg.steps = steps;
+            cfg.eval_every = (steps / 10).max(1);
+            cfg.partition = partition;
+            cfg.server_gar = Some(gar);
+            let mut r = run(SystemKind::GuanYu, &cfg).expect("run");
+            r.system = format!("{pname}/{gar}");
+            println!(
+                "{:<14} {:>12.3} {:<14} {:>12.4} {:>12.4}",
+                pname,
+                skew,
+                gar.to_string(),
+                r.best_accuracy(),
+                r.records.last().map_or(f32::NAN, |x| x.loss)
+            );
+            results.push(r);
+        }
+    }
+    println!(
+        "\nexpected shape: accuracy degrades as skew grows (selection rules drop \
+         honest-but-different gradients); the effect is the known open cost of \
+         distance-based Byzantine resilience outside the paper's i.i.d. assumption."
+    );
+    save_json("noniid", &results);
+}

@@ -1,0 +1,41 @@
+//! Byzantine attack implementations.
+//!
+//! The paper's §5.1 and §5.4 classify the attacks a Byzantine participant
+//! can mount: *(1)* sending corrupted gradients to parameter servers,
+//! *(2)* sending corrupted parameter vectors/models to workers,
+//! *(3)* sending **different** replies to different participants
+//! (equivocation), and *(4)* not responding at all. This crate implements
+//! all four classes, plus stronger attacks from the adjacent literature
+//! used in the ablation benches (sign-flipping, *a little is enough*,
+//! omniscient gradient reversal).
+//!
+//! Every attack implements [`Attack`]: a function from the adversary's
+//! omniscient [`AttackView`] (it sees every honest vector before choosing
+//! its own — §2.2 of the paper) to an optional forged vector per receiver.
+//! Returning `None` models a mute node. The `receiver` field lets an attack
+//! equivocate by forging per-receiver payloads.
+//!
+//! # Example
+//!
+//! ```
+//! use byzantine::{Attack, AttackView, SignFlip};
+//! use tensor::Tensor;
+//!
+//! let honest = vec![Tensor::from_flat(vec![1.0, 2.0])];
+//! let mut attack = SignFlip::new(10.0);
+//! let view = AttackView::new(&honest, 0, 0);
+//! let forged = attack.forge(&view).unwrap();
+//! assert_eq!(forged.as_slice(), &[-10.0, -20.0]);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod attacks;
+mod view;
+
+pub use attacks::{
+    Equivocate, LargeValue, LittleIsEnough, Mute, OrthogonalDrift, RandomGradient,
+    ReversedGradient, SignFlip, StaleReplay,
+};
+pub use view::{Attack, AttackKind, AttackView};

@@ -1,0 +1,219 @@
+//! The [`Attack`] trait and the adversary's view.
+
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+/// Everything the omniscient adversary sees when forging one message.
+///
+/// Per the paper's §2.2 the adversary reads the full memory of every node
+/// and all in-flight packets; concretely, it sees the honest vectors of the
+/// current round *before* choosing its own. The same view type serves both
+/// directions: `honest` holds honest **gradients** when attacking parameter
+/// servers and honest **models** when attacking workers.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackView<'a> {
+    /// Honest vectors of the current round (omnisciently observed).
+    pub honest: &'a [Tensor],
+    /// Current training step.
+    pub step: u64,
+    /// Index of the receiver this forgery is addressed to — lets attacks
+    /// equivocate (class (3) in the paper's taxonomy).
+    pub receiver: usize,
+}
+
+impl<'a> AttackView<'a> {
+    /// Creates a view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `honest` is empty — an attack needs at least one honest
+    /// vector to know the dimension (the orchestrator guarantees this).
+    pub fn new(honest: &'a [Tensor], step: u64, receiver: usize) -> Self {
+        assert!(!honest.is_empty(), "attack view requires honest vectors");
+        AttackView {
+            honest,
+            step,
+            receiver,
+        }
+    }
+
+    /// Dimension of the attacked vectors.
+    pub fn dim(&self) -> usize {
+        self.honest[0].len()
+    }
+
+    /// Coordinate-wise mean of the honest vectors.
+    pub fn honest_mean(&self) -> Tensor {
+        Tensor::mean_of(self.honest).expect("non-empty by construction")
+    }
+
+    /// Coordinate-wise standard deviation of the honest vectors.
+    pub fn honest_std(&self) -> Tensor {
+        let mean = self.honest_mean();
+        let mut var = Tensor::zeros(mean.dims());
+        for h in self.honest {
+            let d = h.sub(&mean).expect("same dims");
+            let sq = d.mul(&d).expect("same dims");
+            var.add_assign(&sq).expect("same dims");
+        }
+        var.scale(1.0 / self.honest.len() as f32).map(f32::sqrt)
+    }
+}
+
+/// A Byzantine forgery strategy.
+///
+/// `forge` returns the vector this Byzantine node sends to
+/// `view.receiver`, or `None` to stay silent (attack class (4)).
+/// Implementations may keep state (e.g. an RNG) — hence `&mut self`.
+pub trait Attack: Send {
+    /// Human-readable attack name for experiment manifests.
+    fn name(&self) -> String;
+
+    /// Produces the forged vector for one receiver, or `None` for silence.
+    fn forge(&mut self, view: &AttackView<'_>) -> Option<Tensor>;
+}
+
+/// Enumeration of the shipped attacks, for experiment configuration files.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Large-norm Gaussian noise ("totally corrupted data", the paper's
+    /// headline attack in §5.1).
+    Random {
+        /// Noise standard deviation.
+        scale: f32,
+    },
+    /// Negated, amplified honest mean.
+    SignFlip {
+        /// Amplification factor.
+        factor: f32,
+    },
+    /// Mean plus `z` honest standard deviations per coordinate
+    /// (Baruch et al., "A Little Is Enough").
+    LittleIsEnough {
+        /// Number of standard deviations.
+        z: f32,
+    },
+    /// A constant huge value in every coordinate.
+    LargeValue {
+        /// The constant.
+        value: f32,
+    },
+    /// Different corrupted vectors to different receivers (the paper's
+    /// Byzantine-server attack in §5.1).
+    Equivocate {
+        /// Magnitude of the per-receiver corruption.
+        scale: f32,
+    },
+    /// Never responds.
+    Mute,
+    /// Negated true gradient (omniscient worst case for convergence).
+    Reversed {
+        /// Amplification factor.
+        factor: f32,
+    },
+    /// Replays the honest mean from `lag` rounds ago, amplified.
+    StaleReplay {
+        /// Round lag (≥ 1).
+        lag: usize,
+        /// Amplification factor.
+        factor: f32,
+    },
+    /// Norm-matched vector orthogonal to the honest mean.
+    Orthogonal,
+}
+
+impl AttackKind {
+    /// Instantiates the attack; `seed` feeds stochastic attacks.
+    pub fn build(self, seed: u64) -> Box<dyn Attack> {
+        match self {
+            AttackKind::Random { scale } => Box::new(crate::RandomGradient::new(scale, seed)),
+            AttackKind::SignFlip { factor } => Box::new(crate::SignFlip::new(factor)),
+            AttackKind::LittleIsEnough { z } => Box::new(crate::LittleIsEnough::new(z)),
+            AttackKind::LargeValue { value } => Box::new(crate::LargeValue::new(value)),
+            AttackKind::Equivocate { scale } => Box::new(crate::Equivocate::new(scale, seed)),
+            AttackKind::Mute => Box::new(crate::Mute::new()),
+            AttackKind::Reversed { factor } => Box::new(crate::ReversedGradient::new(factor)),
+            AttackKind::StaleReplay { lag, factor } => {
+                Box::new(crate::StaleReplay::new(lag, factor))
+            }
+            AttackKind::Orthogonal => Box::new(crate::OrthogonalDrift::new(seed)),
+        }
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackKind::Random { scale } => write!(f, "random(scale={scale})"),
+            AttackKind::SignFlip { factor } => write!(f, "sign-flip(x{factor})"),
+            AttackKind::LittleIsEnough { z } => write!(f, "little-is-enough(z={z})"),
+            AttackKind::LargeValue { value } => write!(f, "large-value({value})"),
+            AttackKind::Equivocate { scale } => write!(f, "equivocate(scale={scale})"),
+            AttackKind::Mute => write!(f, "mute"),
+            AttackKind::Reversed { factor } => write!(f, "reversed(x{factor})"),
+            AttackKind::StaleReplay { lag, factor } => {
+                write!(f, "stale-replay(lag={lag},x{factor})")
+            }
+            AttackKind::Orthogonal => write!(f, "orthogonal-drift"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_statistics() {
+        let honest = vec![
+            Tensor::from_flat(vec![1.0, 0.0]),
+            Tensor::from_flat(vec![3.0, 0.0]),
+        ];
+        let view = AttackView::new(&honest, 5, 2);
+        assert_eq!(view.dim(), 2);
+        assert_eq!(view.honest_mean().as_slice(), &[2.0, 0.0]);
+        assert_eq!(view.honest_std().as_slice(), &[1.0, 0.0]);
+        assert_eq!(view.step, 5);
+        assert_eq!(view.receiver, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires honest vectors")]
+    fn empty_view_panics() {
+        let _ = AttackView::new(&[], 0, 0);
+    }
+
+    #[test]
+    fn kinds_build_and_name() {
+        let kinds = [
+            AttackKind::Random { scale: 10.0 },
+            AttackKind::SignFlip { factor: 2.0 },
+            AttackKind::LittleIsEnough { z: 1.5 },
+            AttackKind::LargeValue { value: 1e9 },
+            AttackKind::Equivocate { scale: 5.0 },
+            AttackKind::Mute,
+            AttackKind::Reversed { factor: 3.0 },
+            AttackKind::StaleReplay { lag: 2, factor: 2.0 },
+            AttackKind::Orthogonal,
+        ];
+        for kind in kinds {
+            let mut attack = kind.build(7);
+            assert!(!attack.name().is_empty());
+            let honest = vec![Tensor::from_flat(vec![1.0, 2.0, 3.0])];
+            let view = AttackView::new(&honest, 0, 0);
+            let forged = attack.forge(&view);
+            match kind {
+                AttackKind::Mute => assert!(forged.is_none()),
+                _ => assert_eq!(forged.unwrap().len(), 3),
+            }
+        }
+    }
+
+    #[test]
+    fn kind_serde_roundtrip() {
+        let k = AttackKind::LittleIsEnough { z: 1.2 };
+        let json = serde_json::to_string(&k).unwrap();
+        let back: AttackKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, k);
+    }
+}

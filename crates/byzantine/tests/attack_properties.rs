@@ -1,0 +1,86 @@
+//! Property tests over the attack library: structural contracts every
+//! attack must satisfy for arbitrary honest inputs.
+
+use byzantine::{Attack, AttackKind, AttackView};
+use proptest::prelude::*;
+use tensor::Tensor;
+
+fn all_kinds() -> Vec<AttackKind> {
+    vec![
+        AttackKind::Random { scale: 10.0 },
+        AttackKind::SignFlip { factor: 2.0 },
+        AttackKind::LittleIsEnough { z: 1.5 },
+        AttackKind::LargeValue { value: 1e6 },
+        AttackKind::Equivocate { scale: 5.0 },
+        AttackKind::Mute,
+        AttackKind::Reversed { factor: 3.0 },
+        AttackKind::StaleReplay { lag: 2, factor: 1.5 },
+        AttackKind::Orthogonal,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every forgery has the honest dimension (or the attack is silent) —
+    /// a wrong-dimension forgery would be trivially filtered, so attacks
+    /// that emit one are bugs, not strategies.
+    #[test]
+    fn forgeries_have_honest_dimension(
+        honest in proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, 6), 1..8),
+        step in 0u64..50,
+        receiver in 0usize..8,
+    ) {
+        let hs: Vec<Tensor> = honest.into_iter().map(Tensor::from_flat).collect();
+        let view = AttackView::new(&hs, step, receiver);
+        for kind in all_kinds() {
+            let mut attack = kind.build(3);
+            match attack.forge(&view) {
+                Some(v) => {
+                    prop_assert_eq!(v.len(), 6, "{} forged wrong dimension", attack.name());
+                    prop_assert!(v.is_finite(), "{} forged non-finite values", attack.name());
+                }
+                None => prop_assert!(matches!(kind, AttackKind::Mute)),
+            }
+        }
+    }
+
+    /// Determinism where promised: the same (seed, view) produces the same
+    /// forgery for the stateless attacks.
+    #[test]
+    fn stateless_attacks_are_deterministic(
+        honest in proptest::collection::vec(
+            proptest::collection::vec(-10.0f32..10.0, 4), 2..6),
+        step in 0u64..20,
+    ) {
+        let hs: Vec<Tensor> = honest.into_iter().map(Tensor::from_flat).collect();
+        let view = AttackView::new(&hs, step, 1);
+        for kind in [
+            AttackKind::SignFlip { factor: 2.0 },
+            AttackKind::LittleIsEnough { z: 1.0 },
+            AttackKind::LargeValue { value: 5.0 },
+            AttackKind::Equivocate { scale: 2.0 },
+            AttackKind::Orthogonal,
+        ] {
+            let a = kind.build(9).forge(&view).unwrap();
+            let b = kind.build(9).forge(&view).unwrap();
+            prop_assert_eq!(a, b, "{:?} not deterministic", kind);
+        }
+    }
+
+    /// Equivocation actually equivocates: two receivers get different
+    /// vectors (whenever the honest input is non-degenerate).
+    #[test]
+    fn equivocate_differs_across_receivers(
+        honest in proptest::collection::vec(
+            proptest::collection::vec(-10.0f32..10.0, 4), 2..6),
+        step in 0u64..20,
+    ) {
+        let hs: Vec<Tensor> = honest.into_iter().map(Tensor::from_flat).collect();
+        let mut attack = AttackKind::Equivocate { scale: 5.0 }.build(11);
+        let a = attack.forge(&AttackView::new(&hs, step, 0)).unwrap();
+        let b = attack.forge(&AttackView::new(&hs, step, 1)).unwrap();
+        prop_assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,166 @@
+//! Checkpointing: snapshot and restore a training run.
+//!
+//! Long distributed runs need durable progress: a checkpoint captures the
+//! honest servers' parameter vectors plus the step/clock counters, can be
+//! serialised to JSON (or any serde format), and later resumed into a
+//! fresh [`crate::lockstep::LockstepTrainer`] via
+//! [`crate::lockstep::LockstepTrainer::restore`]. Because every run is
+//! seeded, `resume(checkpoint at step k)` and `run straight to step k + m`
+//! visit statistically equivalent trajectories (exact bit-equality is not
+//! guaranteed: RNG streams continue rather than rewind).
+
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+use crate::{GuanYuError, Result};
+
+/// A durable snapshot of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version, for forward compatibility.
+    pub version: u32,
+    /// Training step at which the snapshot was taken.
+    pub step: u64,
+    /// Simulated seconds elapsed at the snapshot.
+    pub sim_time_secs: f64,
+    /// Honest servers' parameter vectors, in server order.
+    pub server_params: Vec<Tensor>,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+impl Checkpoint {
+    /// Builds a snapshot from raw state.
+    pub fn new(step: u64, sim_time_secs: f64, server_params: Vec<Tensor>) -> Self {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            step,
+            sim_time_secs,
+            server_params,
+        }
+    }
+
+    /// Serialises to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuanYuError::InvalidConfig`] when serialisation fails
+    /// (non-finite parameters are the usual culprit; checkpointing a
+    /// diverged run is refused by [`Checkpoint::validate`]).
+    pub fn to_json(&self) -> Result<String> {
+        self.validate()?;
+        serde_json::to_string(self)
+            .map_err(|e| GuanYuError::InvalidConfig(format!("checkpoint encode: {e}")))
+    }
+
+    /// Parses a JSON checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuanYuError::InvalidConfig`] on malformed input or version
+    /// mismatch.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let ckpt: Checkpoint = serde_json::from_str(json)
+            .map_err(|e| GuanYuError::InvalidConfig(format!("checkpoint decode: {e}")))?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(GuanYuError::InvalidConfig(format!(
+                "checkpoint version {} unsupported (expected {CHECKPOINT_VERSION})",
+                ckpt.version
+            )));
+        }
+        ckpt.validate()?;
+        Ok(ckpt)
+    }
+
+    /// Structural sanity: at least one server, uniform dimensions, finite
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuanYuError::InvalidConfig`] naming the violation.
+    pub fn validate(&self) -> Result<()> {
+        let first = self
+            .server_params
+            .first()
+            .ok_or_else(|| GuanYuError::InvalidConfig("checkpoint has no servers".into()))?;
+        for (i, p) in self.server_params.iter().enumerate() {
+            if p.dims() != first.dims() {
+                return Err(GuanYuError::InvalidConfig(format!(
+                    "server {i} has dimension {:?}, expected {:?}",
+                    p.dims(),
+                    first.dims()
+                )));
+            }
+            if !p.is_finite() {
+                return Err(GuanYuError::InvalidConfig(format!(
+                    "server {i} holds non-finite parameters (diverged run?)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parameter dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.server_params.first().map_or(0, Tensor::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint::new(
+            42,
+            1.5,
+            vec![Tensor::from_flat(vec![1.0, 2.0]); 3],
+        )
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = sample();
+        let json = c.to_json().unwrap();
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.dim(), 2);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let c = Checkpoint::new(0, 0.0, vec![]);
+        assert!(c.validate().is_err());
+        assert!(c.to_json().is_err());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let c = Checkpoint::new(
+            0,
+            0.0,
+            vec![Tensor::zeros(&[2]), Tensor::zeros(&[3])],
+        );
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let c = Checkpoint::new(0, 0.0, vec![Tensor::from_flat(vec![f32::NAN])]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut c = sample();
+        c.version = 99;
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(Checkpoint::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_json() {
+        assert!(Checkpoint::from_json("not json").is_err());
+    }
+}

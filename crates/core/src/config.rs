@@ -1,0 +1,263 @@
+//! Cluster configuration and the paper's resilience bounds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GuanYuError, Result};
+
+/// Sizing of one GuanYu deployment, with the paper's §3.2 constraints:
+///
+/// * `n ≥ 3f + 3` parameter servers, `f` of them Byzantine,
+/// * `n̄ ≥ 3f̄ + 3` workers, `f̄` of them Byzantine,
+/// * model-quorum `q` with `2f + 3 ≤ q ≤ n − f` (used for the median `M`),
+/// * gradient-quorum `q̄` with `2f̄ + 3 ≤ q̄ ≤ n̄ − f̄` (used for Multi-Krum
+///   `F`).
+///
+/// The 1/3 bounds are optimal under asynchrony (§3.5): robust aggregation
+/// has breakdown point 1/2, and asynchrony forces over-provisioning honest
+/// nodes 1-for-1 against potentially-mute Byzantine ones, so
+/// `(1/2) / (3/2) = 1/3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Total parameter servers `n`.
+    pub servers: usize,
+    /// Byzantine parameter servers `f`.
+    pub byz_servers: usize,
+    /// Total workers `n̄`.
+    pub workers: usize,
+    /// Byzantine workers `f̄`.
+    pub byz_workers: usize,
+    /// Model quorum `q` (median over server models).
+    pub server_quorum: usize,
+    /// Gradient quorum `q̄` (Multi-Krum over worker gradients).
+    pub worker_quorum: usize,
+}
+
+impl ClusterConfig {
+    /// Builds a configuration with the **minimum** legal quorums
+    /// (`q = 2f + 3`, `q̄ = 2f̄ + 3`), the choice used in the paper's
+    /// implementation (§5.3: "parameter servers wait for a quorum of
+    /// 2f̄ + 3 replies").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuanYuError::InvalidConfig`] when any bound is violated.
+    pub fn new(servers: usize, byz_servers: usize, workers: usize, byz_workers: usize) -> Result<Self> {
+        let cfg = ClusterConfig {
+            servers,
+            byz_servers,
+            workers,
+            byz_workers,
+            server_quorum: 2 * byz_servers + 3,
+            worker_quorum: 2 * byz_workers + 3,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Same as [`ClusterConfig::new`] with explicit quorums.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuanYuError::InvalidConfig`] when any bound is violated.
+    pub fn with_quorums(
+        servers: usize,
+        byz_servers: usize,
+        workers: usize,
+        byz_workers: usize,
+        server_quorum: usize,
+        worker_quorum: usize,
+    ) -> Result<Self> {
+        let cfg = ClusterConfig {
+            servers,
+            byz_servers,
+            workers,
+            byz_workers,
+            server_quorum,
+            worker_quorum,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// The paper's experimental deployment: 6 parameter servers (1
+    /// Byzantine) and 18 workers (5 Byzantine), quorums q = 5, q̄ = 13.
+    pub fn paper_deployment() -> Self {
+        ClusterConfig::new(6, 1, 18, 5).expect("paper deployment satisfies the bounds")
+    }
+
+    /// Degenerate single-server, all-honest deployment used by the vanilla
+    /// baselines (bypasses the `n ≥ 3f+3` requirement: with `f = 0`
+    /// replication is pointless, one server is enough and nothing is
+    /// tolerated).
+    pub fn single_server(workers: usize) -> Self {
+        ClusterConfig {
+            servers: 1,
+            byz_servers: 0,
+            workers,
+            byz_workers: 0,
+            server_quorum: 1,
+            worker_quorum: workers,
+        }
+    }
+
+    /// Checks every bound from §3.2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuanYuError::InvalidConfig`] naming the violated bound.
+    pub fn validate(&self) -> Result<()> {
+        if self.servers < 3 * self.byz_servers + 3 {
+            return Err(GuanYuError::InvalidConfig(format!(
+                "need n >= 3f + 3 servers: n = {}, f = {}",
+                self.servers, self.byz_servers
+            )));
+        }
+        if self.workers < 3 * self.byz_workers + 3 {
+            return Err(GuanYuError::InvalidConfig(format!(
+                "need n̄ >= 3f̄ + 3 workers: n̄ = {}, f̄ = {}",
+                self.workers, self.byz_workers
+            )));
+        }
+        let q = self.server_quorum;
+        if q < 2 * self.byz_servers + 3 || q > self.servers - self.byz_servers {
+            return Err(GuanYuError::InvalidConfig(format!(
+                "server quorum q = {q} outside [2f + 3, n − f] = [{}, {}]",
+                2 * self.byz_servers + 3,
+                self.servers - self.byz_servers
+            )));
+        }
+        let qw = self.worker_quorum;
+        if qw < 2 * self.byz_workers + 3 || qw > self.workers - self.byz_workers {
+            return Err(GuanYuError::InvalidConfig(format!(
+                "worker quorum q̄ = {qw} outside [2f̄ + 3, n̄ − f̄] = [{}, {}]",
+                2 * self.byz_workers + 3,
+                self.workers - self.byz_workers
+            )));
+        }
+        Ok(())
+    }
+
+    /// Honest server count `n − f`.
+    pub fn honest_servers(&self) -> usize {
+        self.servers - self.byz_servers
+    }
+
+    /// Honest worker count `n̄ − f̄`.
+    pub fn honest_workers(&self) -> usize {
+        self.workers - self.byz_workers
+    }
+
+    /// Multi-Krum's `f` parameter at the servers. When `f̄ = 0` the protocol
+    /// still runs Multi-Krum with `f = 1` head-room if the quorum allows it
+    /// (keeps the code path identical across deployments); otherwise the
+    /// declared `f̄`.
+    pub fn krum_f(&self) -> usize {
+        if self.byz_workers > 0 {
+            self.byz_workers
+        } else if self.worker_quorum >= 5 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_deployment_is_valid() {
+        let cfg = ClusterConfig::paper_deployment();
+        assert_eq!(cfg.servers, 6);
+        assert_eq!(cfg.byz_servers, 1);
+        assert_eq!(cfg.workers, 18);
+        assert_eq!(cfg.byz_workers, 5);
+        assert_eq!(cfg.server_quorum, 5); // 2·1+3
+        assert_eq!(cfg.worker_quorum, 13); // 2·5+3
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_too_many_byzantine_servers() {
+        // n = 6 supports f = 1 only.
+        assert!(ClusterConfig::new(6, 2, 18, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_too_many_byzantine_workers() {
+        assert!(ClusterConfig::new(6, 1, 17, 5).is_err());
+        assert!(ClusterConfig::new(6, 1, 18, 5).is_ok());
+    }
+
+    #[test]
+    fn quorum_bounds_enforced() {
+        // q must be within [5, 5] for n=6, f=1.
+        assert!(ClusterConfig::with_quorums(6, 1, 18, 5, 4, 13).is_err());
+        assert!(ClusterConfig::with_quorums(6, 1, 18, 5, 6, 13).is_err());
+        assert!(ClusterConfig::with_quorums(6, 1, 18, 5, 5, 12).is_err());
+        assert!(ClusterConfig::with_quorums(6, 1, 18, 5, 5, 14).is_err());
+    }
+
+    #[test]
+    fn larger_clusters_allow_quorum_range() {
+        // n = 9, f = 1: q ∈ [5, 8].
+        for q in 5..=8 {
+            assert!(ClusterConfig::with_quorums(9, 1, 18, 5, q, 13).is_ok());
+        }
+    }
+
+    #[test]
+    fn all_honest_minimums() {
+        // f = f̄ = 0: n ≥ 3, q ∈ [3, n].
+        let cfg = ClusterConfig::new(3, 0, 3, 0).unwrap();
+        assert_eq!(cfg.server_quorum, 3);
+        assert_eq!(cfg.worker_quorum, 3);
+        assert!(ClusterConfig::new(2, 0, 3, 0).is_err());
+    }
+
+    #[test]
+    fn honest_counts() {
+        let cfg = ClusterConfig::paper_deployment();
+        assert_eq!(cfg.honest_servers(), 5);
+        assert_eq!(cfg.honest_workers(), 13);
+    }
+
+    #[test]
+    fn krum_f_heuristic() {
+        assert_eq!(ClusterConfig::paper_deployment().krum_f(), 5);
+        let all_honest = ClusterConfig::new(6, 0, 18, 0).unwrap();
+        // q̄ = 3 < 5 → krum_f 0 (fall back to averaging-compatible f)
+        assert_eq!(all_honest.krum_f(), 0);
+        let roomy = ClusterConfig::with_quorums(6, 0, 18, 0, 3, 10).unwrap();
+        assert_eq!(roomy.krum_f(), 1);
+    }
+
+    #[test]
+    fn single_server_baseline_shape() {
+        let cfg = ClusterConfig::single_server(18);
+        assert_eq!(cfg.servers, 1);
+        assert_eq!(cfg.honest_servers(), 1);
+        assert_eq!(cfg.worker_quorum, 18);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = ClusterConfig::paper_deployment();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn one_third_bound_is_tight() {
+        // The smallest deployments at the optimal ratio: f servers out of
+        // 3f+3 total for increasing f.
+        for f in 0..4 {
+            assert!(ClusterConfig::new(3 * f + 3, f, 18, 0).is_ok());
+            if f > 0 {
+                assert!(ClusterConfig::new(3 * f + 2, f, 18, 0).is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,848 @@
+//! The round-structured ("lockstep") execution engine.
+//!
+//! This engine runs the GuanYu protocol (and the vanilla baselines) one
+//! synchronised round at a time, which makes the long convergence
+//! experiments of the paper's §5 fast while preserving the protocol's
+//! semantics exactly where they matter:
+//!
+//! * **quorums under asynchrony** — per-message network delays are sampled
+//!   from the configured [`DelayModel`]; each receiver folds the `q`
+//!   *earliest* messages, and actually-Byzantine messages arrive first
+//!   (worst case: the adversary's covert network is arbitrarily fast, §2);
+//! * **exact adversarial omniscience** — Byzantine forgeries see every
+//!   honest vector of the round before choosing their own (§2.2), including
+//!   per-receiver equivocation;
+//! * **a simulated clock** — every round charges compute, conversion,
+//!   aggregation and transfer time from the [`CostModel`], reproducing the
+//!   time axis of Figs. 3(b)/(d).
+//!
+//! The declared Byzantine counts (`ClusterConfig::byz_*`, which size the
+//! quorums) are independent from the **actual** number of attackers
+//! ([`LockstepConfig::actual_byz_workers`] etc.): the paper's Fig. 3 runs
+//! GuanYu *declared* `f̄ = 5, f = 1` in a fault-free environment, while
+//! Fig. 4 adds real attackers. The event-driven twin of this engine lives
+//! in [`crate::protocol`].
+
+use aggregation::{CoordinateWiseMedian, Gar, GarKind};
+use byzantine::{Attack, AttackKind, AttackView};
+use data::{partition_dataset, Batcher, Dataset, Partition};
+use nn::{softmax_cross_entropy, LrSchedule, Sequential};
+use simnet::DelayModel;
+use tensor::{Tensor, TensorRng};
+
+use crate::checkpoint::Checkpoint;
+use crate::config::ClusterConfig;
+use crate::contraction::{alignment_snapshot, AlignmentRecord};
+use crate::cost::CostModel;
+use crate::metrics::{evaluate, RunResult, TrainingRecord};
+use crate::{GuanYuError, Result};
+
+/// Full configuration of one lockstep run.
+#[derive(Debug, Clone)]
+pub struct LockstepConfig {
+    /// Cluster sizing and quorums (declared Byzantine counts).
+    pub cluster: ClusterConfig,
+    /// Mini-batch size per worker.
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub lr: LrSchedule,
+    /// Master seed (everything derives from it).
+    pub seed: u64,
+    /// Gradient-aggregation rule at the servers (`MultiKrum` for GuanYu,
+    /// `Average` for the vanilla baselines).
+    pub server_gar: GarKind,
+    /// Whether workers fold incoming models with the median (GuanYu) or
+    /// trust the single server (vanilla).
+    pub robust_worker_fold: bool,
+    /// Whether the inter-server model-exchange phase runs (GuanYu yes;
+    /// ablation `ablate_exchange` turns it off).
+    pub exchange_enabled: bool,
+    /// Number of *actually* Byzantine workers (≤ declared `byz_workers`).
+    pub actual_byz_workers: usize,
+    /// Their attack.
+    pub worker_attack: Option<AttackKind>,
+    /// Number of *actually* Byzantine servers (≤ declared `byz_servers`).
+    pub actual_byz_servers: usize,
+    /// Their attack.
+    pub server_attack: Option<AttackKind>,
+    /// Physical link delays (quorum ordering + time axis).
+    pub delay: DelayModel,
+    /// Compute/serialisation cost model (time axis).
+    pub cost: CostModel,
+    /// Take a Table-2 alignment snapshot every this many steps (0 = never).
+    pub alignment_every: u64,
+    /// How the training set is distributed across honest workers. The
+    /// paper's setting is [`Partition::Iid`]; the non-IID variants stress
+    /// the proof's assumption 3 (see the `noniid` experiment binary).
+    pub partition: Partition,
+}
+
+impl LockstepConfig {
+    /// GuanYu with the paper's deployment shape, scaled-down network
+    /// delays, and no actual attackers (the Fig. 3 setting).
+    pub fn guanyu(cluster: ClusterConfig, seed: u64) -> Self {
+        LockstepConfig {
+            cluster,
+            batch_size: 32,
+            lr: LrSchedule::constant(0.05),
+            seed,
+            server_gar: GarKind::MultiKrum,
+            robust_worker_fold: true,
+            exchange_enabled: true,
+            actual_byz_workers: 0,
+            worker_attack: None,
+            actual_byz_servers: 0,
+            server_attack: None,
+            delay: DelayModel::grid5000(),
+            cost: CostModel::guanyu(),
+            alignment_every: 20,
+            partition: Partition::Iid,
+        }
+    }
+
+    /// A single-server averaging baseline over the same workers:
+    /// `native = true` gives "vanilla TF" (optimised runtime), `false`
+    /// gives "vanilla GuanYu" (same graph, our communication stack).
+    pub fn vanilla(workers: usize, native: bool, seed: u64) -> Self {
+        LockstepConfig {
+            cluster: ClusterConfig::single_server(workers),
+            batch_size: 32,
+            lr: LrSchedule::constant(0.05),
+            seed,
+            server_gar: GarKind::Average,
+            robust_worker_fold: false,
+            exchange_enabled: false,
+            actual_byz_workers: 0,
+            worker_attack: None,
+            actual_byz_servers: 0,
+            server_attack: None,
+            delay: DelayModel::grid5000(),
+            cost: if native {
+                CostModel::vanilla_tf()
+            } else {
+                CostModel::guanyu()
+            },
+            alignment_every: 0,
+            partition: Partition::Iid,
+        }
+    }
+}
+
+struct WorkerState {
+    model: Sequential,
+    batcher: Batcher,
+    /// This worker's training shard ([`Partition::Iid`] gives every worker
+    /// an i.i.d. slice of the full set).
+    shard: Dataset,
+}
+
+/// The lockstep trainer. See the module docs for semantics.
+pub struct LockstepTrainer {
+    cfg: LockstepConfig,
+    /// Parameter vectors of the honest servers (the Byzantine servers'
+    /// "state" is whatever the adversary forges each round).
+    server_params: Vec<Tensor>,
+    workers: Vec<WorkerState>,
+    worker_attacks: Vec<Box<dyn Attack>>,
+    server_attacks: Vec<Box<dyn Attack>>,
+    grad_gar: Box<dyn Gar>,
+    model_fold: CoordinateWiseMedian,
+    eval_model: Sequential,
+    /// Full training set, kept for inspection (workers hold their shards).
+    train: Dataset,
+    test: Dataset,
+    rng: TensorRng,
+    step: u64,
+    sim_time: f64,
+    alignment: Vec<AlignmentRecord>,
+    dim: usize,
+    diverged: bool,
+    last_phase_time: f64,
+}
+
+impl LockstepTrainer {
+    /// Builds a trainer. `model_builder` constructs the (identical) network
+    /// architecture; the initial parameter vector is drawn once and shared
+    /// by every honest server (`θ₀`, §3.3 initialisation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuanYuError::InvalidConfig`] for inconsistent Byzantine
+    /// counts or an invalid cluster, and propagates substrate errors.
+    pub fn new(
+        cfg: LockstepConfig,
+        model_builder: impl Fn(&mut TensorRng) -> Sequential,
+        train: Dataset,
+        test: Dataset,
+    ) -> Result<Self> {
+        if cfg.cluster.servers > 1 {
+            cfg.cluster.validate()?;
+        }
+        if cfg.actual_byz_workers > cfg.cluster.byz_workers {
+            return Err(GuanYuError::InvalidConfig(format!(
+                "{} actual Byzantine workers exceed the declared {}",
+                cfg.actual_byz_workers, cfg.cluster.byz_workers
+            )));
+        }
+        if cfg.actual_byz_servers > cfg.cluster.byz_servers {
+            return Err(GuanYuError::InvalidConfig(format!(
+                "{} actual Byzantine servers exceed the declared {}",
+                cfg.actual_byz_servers, cfg.cluster.byz_servers
+            )));
+        }
+        if cfg.actual_byz_workers > 0 && cfg.worker_attack.is_none() {
+            return Err(GuanYuError::InvalidConfig(
+                "actual Byzantine workers configured without a worker attack".into(),
+            ));
+        }
+        if cfg.actual_byz_servers > 0 && cfg.server_attack.is_none() {
+            return Err(GuanYuError::InvalidConfig(
+                "actual Byzantine servers configured without a server attack".into(),
+            ));
+        }
+
+        let mut rng = TensorRng::new(cfg.seed);
+        let mut init_rng = rng.fork(0xA11);
+        let template = model_builder(&mut init_rng);
+        let theta0 = template.param_vector();
+        let dim = theta0.len();
+
+        // Honest servers all start from θ₀.
+        let honest_servers = cfg.cluster.servers - cfg.actual_byz_servers;
+        let server_params = vec![theta0; honest_servers];
+
+        // Honest workers: own model instance, own batch stream, own shard.
+        let honest_workers = cfg.cluster.workers - cfg.actual_byz_workers;
+        let shards: Vec<Dataset> = match cfg.partition {
+            // IID keeps the paper's semantics exactly: every worker samples
+            // the full training set with its own stream.
+            Partition::Iid => vec![train.clone(); honest_workers],
+            other => partition_dataset(&train, honest_workers, other, cfg.seed)?,
+        };
+        let mut workers = Vec::with_capacity(honest_workers);
+        for (w, shard) in shards.into_iter().enumerate() {
+            let mut worker_rng = rng.fork(0xB0B + w as u64);
+            workers.push(WorkerState {
+                model: model_builder(&mut worker_rng),
+                batcher: Batcher::new(shard.len(), cfg.batch_size, cfg.seed ^ (w as u64) << 17),
+                shard,
+            });
+        }
+
+        let worker_attacks: Vec<Box<dyn Attack>> = (0..cfg.actual_byz_workers)
+            .map(|i| {
+                cfg.worker_attack
+                    .expect("validated above")
+                    .build(cfg.seed ^ 0xEB1 ^ (i as u64) << 8)
+            })
+            .collect();
+        let server_attacks: Vec<Box<dyn Attack>> = (0..cfg.actual_byz_servers)
+            .map(|i| {
+                cfg.server_attack
+                    .expect("validated above")
+                    .build(cfg.seed ^ 0x5E6 ^ (i as u64) << 8)
+            })
+            .collect();
+
+        let krum_f = cfg.cluster.krum_f();
+        let grad_gar = cfg.server_gar.build(krum_f).map_err(|e| {
+            GuanYuError::InvalidConfig(format!("server GAR construction failed: {e}"))
+        })?;
+
+        let eval_model = model_builder(&mut rng.fork(0xE7A1));
+
+        Ok(LockstepTrainer {
+            cfg,
+            server_params,
+            workers,
+            worker_attacks,
+            server_attacks,
+            grad_gar,
+            model_fold: CoordinateWiseMedian::new(),
+            eval_model,
+            train,
+            test,
+            rng,
+            step: 0,
+            sim_time: 0.0,
+            alignment: Vec::new(),
+            dim,
+            diverged: false,
+            last_phase_time: 0.0,
+        })
+    }
+
+    /// Whether training has diverged to non-finite parameters — the fate of
+    /// the unprotected baselines under attack (paper Fig. 4). A diverged
+    /// trainer keeps counting steps and simulated time (the cluster is
+    /// still "running"), but the model is destroyed.
+    pub fn diverged(&self) -> bool {
+        self.diverged
+    }
+
+    /// Model updates completed so far.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Simulated seconds elapsed.
+    pub fn sim_time_secs(&self) -> f64 {
+        self.sim_time
+    }
+
+    /// The full training set (workers train on per-worker shards derived
+    /// from it according to [`LockstepConfig::partition`]).
+    pub fn train_set(&self) -> &Dataset {
+        &self.train
+    }
+
+    /// Parameter vectors currently held by the honest servers.
+    pub fn honest_server_params(&self) -> &[Tensor] {
+        &self.server_params
+    }
+
+    /// The "global" model the paper evaluates: the coordinate-wise median
+    /// of the honest servers' parameter vectors (Equation 1's `θ_t`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates aggregation failures (cannot happen on a healthy state).
+    pub fn global_model(&self) -> Result<Tensor> {
+        Ok(self.model_fold.aggregate(&self.server_params)?)
+    }
+
+    /// Alignment snapshots collected so far (Table 2 rows).
+    pub fn alignment_records(&self) -> &[AlignmentRecord] {
+        &self.alignment
+    }
+
+    /// Snapshots the run into a durable [`Checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuanYuError::InvalidConfig`] when the run has diverged
+    /// (non-finite parameters cannot be resumed).
+    pub fn checkpoint(&self) -> Result<Checkpoint> {
+        let ckpt = Checkpoint::new(self.step, self.sim_time, self.server_params.clone());
+        ckpt.validate()?;
+        Ok(ckpt)
+    }
+
+    /// Restores a previous [`Checkpoint`] into this trainer: server models,
+    /// step counter and simulated clock are replaced. The trainer's RNG
+    /// streams continue (they are not rewound), so a resumed run is
+    /// statistically — not bitwise — identical to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuanYuError::InvalidConfig`] when the checkpoint's shape
+    /// does not match this deployment (server count or dimension).
+    pub fn restore(&mut self, ckpt: &Checkpoint) -> Result<()> {
+        ckpt.validate()?;
+        if ckpt.server_params.len() != self.server_params.len() {
+            return Err(GuanYuError::InvalidConfig(format!(
+                "checkpoint has {} servers, deployment has {}",
+                ckpt.server_params.len(),
+                self.server_params.len()
+            )));
+        }
+        if ckpt.dim() != self.dim {
+            return Err(GuanYuError::InvalidConfig(format!(
+                "checkpoint dimension {} does not match model dimension {}",
+                ckpt.dim(),
+                self.dim
+            )));
+        }
+        self.server_params = ckpt.server_params.clone();
+        self.step = ckpt.step;
+        self.sim_time = ckpt.sim_time_secs;
+        self.diverged = false;
+        Ok(())
+    }
+
+    /// `k` smallest of the sampled honest delays plus the time the quorum
+    /// completes (the k-th order statistic).
+    fn quorum_delays(&mut self, senders: usize, k: usize, bytes: usize) -> (Vec<usize>, f64) {
+        let mut delays: Vec<(f64, usize)> = (0..senders)
+            .map(|i| (self.cfg.delay.sample(bytes, &mut self.rng), i))
+            .collect();
+        delays.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite delays"));
+        let k = k.min(senders);
+        let selected: Vec<usize> = delays[..k].iter().map(|&(_, i)| i).collect();
+        let completion = delays.get(k.saturating_sub(1)).map_or(0.0, |&(d, _)| d);
+        (selected, completion)
+    }
+
+    /// Runs one full protocol step (all three phases). Advances the
+    /// simulated clock by the round's critical path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures.
+    pub fn step(&mut self) -> Result<()> {
+        // Divergence check: once any honest server holds non-finite
+        // parameters the deployment is destroyed; keep the clock and step
+        // counter moving (machines still burn time) but skip computation.
+        if self.diverged || self.server_params.iter().any(|p| !p.is_finite()) {
+            self.diverged = true;
+            self.step += 1;
+            self.sim_time += self.last_phase_time.max(1e-6);
+            return Ok(());
+        }
+        let cfg = self.cfg.clone();
+        let d = self.dim;
+        let bytes = CostModel::message_bytes(d);
+        let mut phase_time = 0.0f64;
+
+        // ---- Phase 1: servers broadcast models; workers fold with M. ----
+        let q_model = cfg.cluster.server_quorum;
+        let n_honest_srv = self.server_params.len();
+        let byz_srv = self.cfg.actual_byz_servers;
+        let mut worker_views: Vec<Tensor> = Vec::with_capacity(self.workers.len());
+        let mut worst_quorum_time = 0.0f64;
+        for w in 0..self.workers.len() {
+            // Byzantine servers' messages arrive instantly (covert network)
+            // and are always inside the quorum: the worst case. A mute
+            // attacker contributes nothing, so the quorum fills with honest
+            // messages instead (the receiver just waits longer).
+            let mut forged_msgs: Vec<Tensor> = Vec::new();
+            if byz_srv > 0 {
+                let honest_ref = self.server_params.clone();
+                for attack in &mut self.server_attacks {
+                    let view = AttackView::new(&honest_ref, self.step, w);
+                    if let Some(forged) = attack.forge(&view) {
+                        forged_msgs.push(forged);
+                    }
+                }
+            }
+            let honest_needed = q_model
+                .saturating_sub(forged_msgs.len())
+                .min(n_honest_srv);
+            let (selected, completion) = self.quorum_delays(n_honest_srv, honest_needed, bytes);
+            worst_quorum_time = worst_quorum_time.max(completion);
+            let mut received: Vec<Tensor> =
+                selected.iter().map(|&i| self.server_params[i].clone()).collect();
+            received.extend(forged_msgs);
+            let view = if cfg.robust_worker_fold {
+                self.model_fold.aggregate(&received)?
+            } else {
+                // vanilla: trust the (single) server
+                received
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| GuanYuError::InvalidConfig("no server model".into()))?
+            };
+            worker_views.push(view);
+        }
+        phase_time += worst_quorum_time;
+        if cfg.robust_worker_fold {
+            phase_time += cfg.cost.convert_secs(d) + cfg.cost.median_secs(q_model, d);
+        } else {
+            phase_time += cfg.cost.convert_secs(d);
+        }
+
+        // ---- Phase 2: workers compute gradients; servers fold with F. ----
+        let lr = cfg.lr.at(self.step);
+        let mut honest_grads: Vec<Tensor> = Vec::with_capacity(self.workers.len());
+        for (w, view) in worker_views.iter().enumerate() {
+            let worker = &mut self.workers[w];
+            worker.model.set_param_vector(view)?;
+            worker.model.zero_grads();
+            let (x, labels) = worker.batcher.next_batch(&worker.shard)?;
+            let logits = worker.model.forward(&x, true)?;
+            let (_, dlogits) = softmax_cross_entropy(&logits, &labels)?;
+            worker.model.backward(&dlogits)?;
+            let g = worker.model.grad_vector();
+            if !g.is_finite() {
+                // Loss overflow: the run is past saving (only happens to the
+                // unprotected baselines under attack).
+                self.diverged = true;
+                self.step += 1;
+                self.sim_time += self.last_phase_time.max(1e-6);
+                return Ok(());
+            }
+            honest_grads.push(g);
+        }
+        phase_time += cfg.cost.gradient_secs(cfg.batch_size, d) + cfg.cost.convert_secs(d);
+
+        let q_grad = cfg.cluster.worker_quorum;
+        let byz_wrk = cfg.actual_byz_workers;
+        let n_honest_wrk = self.workers.len();
+        let mut new_params: Vec<Tensor> = Vec::with_capacity(n_honest_srv);
+        let mut worst_grad_quorum = 0.0f64;
+        for s in 0..n_honest_srv {
+            let mut forged_msgs: Vec<Tensor> = Vec::new();
+            if byz_wrk > 0 {
+                for attack in &mut self.worker_attacks {
+                    let view = AttackView::new(&honest_grads, self.step, s);
+                    if let Some(forged) = attack.forge(&view) {
+                        forged_msgs.push(forged);
+                    }
+                }
+            }
+            let honest_needed = q_grad
+                .saturating_sub(forged_msgs.len())
+                .min(n_honest_wrk);
+            let (selected, completion) = self.quorum_delays(n_honest_wrk, honest_needed, bytes);
+            worst_grad_quorum = worst_grad_quorum.max(completion);
+            let mut received: Vec<Tensor> =
+                selected.iter().map(|&i| honest_grads[i].clone()).collect();
+            received.extend(forged_msgs);
+            let agg = self.grad_gar.aggregate(&received)?;
+            let mut theta = self.server_params[s].clone();
+            theta.axpy(-lr, &agg)?;
+            new_params.push(theta);
+        }
+        phase_time += worst_grad_quorum + cfg.cost.convert_secs(d);
+        phase_time += match cfg.server_gar {
+            GarKind::MultiKrum | GarKind::Krum | GarKind::Bulyan => {
+                cfg.cost.multikrum_secs(q_grad, d)
+            }
+            GarKind::Median | GarKind::TrimmedMean | GarKind::Meamed | GarKind::GeometricMedian => {
+                cfg.cost.median_secs(q_grad, d)
+            }
+            GarKind::Average => cfg.cost.average_secs(q_grad, d),
+        };
+        phase_time += cfg.cost.update_secs(d);
+
+        // ---- Phase 3: servers exchange models and fold with M. ----
+        if cfg.exchange_enabled && n_honest_srv > 1 {
+            let mut folded: Vec<Tensor> = Vec::with_capacity(n_honest_srv);
+            let mut worst_exchange = 0.0f64;
+            for s in 0..n_honest_srv {
+                // A server's own model is available instantly; it waits for
+                // q − 1 more (minus the always-first Byzantine ones; mute
+                // Byzantine servers are replaced by more honest peers).
+                let mut forged_msgs: Vec<Tensor> = Vec::new();
+                if byz_srv > 0 {
+                    for attack in &mut self.server_attacks {
+                        let view = AttackView::new(&new_params, self.step, s);
+                        if let Some(forged) = attack.forge(&view) {
+                            forged_msgs.push(forged);
+                        }
+                    }
+                }
+                let honest_needed = q_model
+                    .saturating_sub(1)
+                    .saturating_sub(forged_msgs.len())
+                    .min(n_honest_srv - 1);
+                let others: Vec<usize> = (0..n_honest_srv).filter(|&i| i != s).collect();
+                let (sel, completion) = self.quorum_delays(others.len(), honest_needed, bytes);
+                worst_exchange = worst_exchange.max(completion);
+                let mut received = vec![new_params[s].clone()];
+                received.extend(sel.iter().map(|&i| new_params[others[i]].clone()));
+                received.extend(forged_msgs);
+                folded.push(self.model_fold.aggregate(&received)?);
+            }
+            self.server_params = folded;
+            phase_time += worst_exchange + cfg.cost.median_secs(q_model, d);
+        } else {
+            self.server_params = new_params;
+        }
+
+        self.step += 1;
+        self.sim_time += phase_time;
+        self.last_phase_time = phase_time;
+
+        if cfg.alignment_every > 0
+            && self.step % cfg.alignment_every == 0
+            && self.server_params.len() >= 3
+        {
+            if let Some(rec) = alignment_snapshot(self.step, &self.server_params)? {
+                self.alignment.push(rec);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the global model on the held-out test set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures.
+    pub fn evaluate(&mut self) -> Result<TrainingRecord> {
+        if self.diverged || self.server_params.iter().any(|p| !p.is_finite()) {
+            // A destroyed model predicts garbage: report chance accuracy
+            // and a finite sentinel loss (keeps records JSON-serialisable).
+            return Ok(TrainingRecord {
+                step: self.step,
+                sim_time_secs: self.sim_time,
+                accuracy: 1.0 / self.test.num_classes().max(1) as f32,
+                loss: 99.9,
+            });
+        }
+        let params = self.global_model()?;
+        let (acc, loss) = evaluate(&mut self.eval_model, &params, &self.test, 64)?;
+        Ok(TrainingRecord {
+            step: self.step,
+            sim_time_secs: self.sim_time,
+            accuracy: acc,
+            loss: if loss.is_finite() { loss } else { 99.9 },
+        })
+    }
+
+    /// Runs `steps` updates, evaluating every `eval_every` (and at the end).
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures.
+    pub fn run(&mut self, steps: u64, eval_every: u64, system: &str) -> Result<RunResult> {
+        let mut records = vec![self.evaluate()?];
+        for s in 1..=steps {
+            self.step()?;
+            if (eval_every > 0 && s % eval_every == 0) || s == steps {
+                records.push(self.evaluate()?);
+            }
+        }
+        Ok(RunResult {
+            system: system.to_owned(),
+            records,
+            total_steps: self.step,
+            total_secs: self.sim_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use data::{synthetic_cifar, SyntheticConfig};
+    use nn::models;
+
+    fn tiny_data() -> (Dataset, Dataset) {
+        synthetic_cifar(&SyntheticConfig {
+            train: 128,
+            test: 64,
+            side: 8,
+            noise: 0.3,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn small_cluster() -> ClusterConfig {
+        ClusterConfig::new(6, 1, 9, 2).unwrap()
+    }
+
+    fn builder(rng: &mut TensorRng) -> Sequential {
+        models::small_cnn(8, 4, 10, rng)
+    }
+
+    #[test]
+    fn construction_validates_actual_vs_declared() {
+        let (train, test) = tiny_data();
+        let mut cfg = LockstepConfig::guanyu(small_cluster(), 0);
+        cfg.actual_byz_workers = 3; // declared max is 2
+        cfg.worker_attack = Some(AttackKind::Mute);
+        assert!(LockstepTrainer::new(cfg, builder, train, test).is_err());
+    }
+
+    #[test]
+    fn construction_requires_attack_when_byzantine() {
+        let (train, test) = tiny_data();
+        let mut cfg = LockstepConfig::guanyu(small_cluster(), 0);
+        cfg.actual_byz_workers = 1;
+        assert!(LockstepTrainer::new(cfg, builder, train, test).is_err());
+    }
+
+    #[test]
+    fn steps_advance_clock_and_counter() {
+        let (train, test) = tiny_data();
+        let cfg = LockstepConfig::guanyu(small_cluster(), 1);
+        let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        t.step().unwrap();
+        t.step().unwrap();
+        assert_eq!(t.step_count(), 2);
+        assert!(t.sim_time_secs() > 0.0);
+    }
+
+    #[test]
+    fn honest_servers_stay_in_agreement_without_attack() {
+        let (train, test) = tiny_data();
+        let cfg = LockstepConfig::guanyu(small_cluster(), 2);
+        let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        for _ in 0..5 {
+            t.step().unwrap();
+        }
+        let params = t.honest_server_params();
+        let diam = aggregation::properties::diameter(params).unwrap();
+        let scale = params[0].norm();
+        assert!(
+            diam < scale,
+            "honest servers should stay clustered: diameter {diam} vs norm {scale}"
+        );
+    }
+
+    #[test]
+    fn vanilla_baseline_runs_and_learns() {
+        let (train, test) = tiny_data();
+        let cfg = LockstepConfig::vanilla(9, true, 3);
+        let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        let result = t.run(40, 20, "vanilla TF").unwrap();
+        assert_eq!(result.total_steps, 40);
+        let first = result.records.first().unwrap();
+        let last = result.records.last().unwrap();
+        assert!(
+            last.loss < first.loss,
+            "training should reduce loss: {} -> {}",
+            first.loss,
+            last.loss
+        );
+    }
+
+    #[test]
+    fn guanyu_learns_under_gross_worker_attack() {
+        let (train, test) = tiny_data();
+        let mut cfg = LockstepConfig::guanyu(small_cluster(), 4);
+        cfg.actual_byz_workers = 2;
+        cfg.worker_attack = Some(AttackKind::Random { scale: 100.0 });
+        let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        let result = t.run(40, 20, "guanyu-attacked").unwrap();
+        let first = result.records.first().unwrap();
+        let last = result.records.last().unwrap();
+        assert!(
+            last.loss < first.loss * 1.05,
+            "GuanYu should not diverge under attack: {} -> {}",
+            first.loss,
+            last.loss
+        );
+    }
+
+    #[test]
+    fn vanilla_diverges_under_the_same_attack() {
+        let (train, test) = tiny_data();
+        let mut cfg = LockstepConfig::vanilla(9, true, 4);
+        cfg.cluster.byz_workers = 0; // vanilla declares nothing
+        cfg.actual_byz_workers = 1;
+        // vanilla has no byz_workers headroom declared; bypass the
+        // declared-vs-actual check by declaring it.
+        cfg.cluster = ClusterConfig {
+            byz_workers: 1,
+            ..ClusterConfig::single_server(9)
+        };
+        cfg.worker_attack = Some(AttackKind::LargeValue { value: 1e6 });
+        let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        let result = t.run(10, 5, "vanilla-attacked").unwrap();
+        let last = result.records.last().unwrap();
+        // One huge forged gradient in the average destroys the model: loss
+        // explodes (or becomes NaN-adjacent large).
+        assert!(
+            last.loss > 5.0 || !last.loss.is_finite() || last.accuracy <= 0.15,
+            "vanilla averaging should break: loss {} acc {}",
+            last.loss,
+            last.accuracy
+        );
+    }
+
+    #[test]
+    fn guanyu_survives_byzantine_server_equivocation() {
+        let (train, test) = tiny_data();
+        let mut cfg = LockstepConfig::guanyu(small_cluster(), 5);
+        cfg.actual_byz_servers = 1;
+        cfg.server_attack = Some(AttackKind::Equivocate { scale: 50.0 });
+        let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        let result = t.run(30, 15, "guanyu-byz-server").unwrap();
+        let first = result.records.first().unwrap();
+        let last = result.records.last().unwrap();
+        assert!(
+            last.loss < first.loss * 1.1,
+            "GuanYu should survive an equivocating server: {} -> {}",
+            first.loss,
+            last.loss
+        );
+        // honest servers must not have drifted apart
+        let diam = aggregation::properties::diameter(t.honest_server_params()).unwrap();
+        assert!(diam < 2.0 * t.honest_server_params()[0].norm().max(1.0));
+    }
+
+    #[test]
+    fn alignment_snapshots_are_collected() {
+        let (train, test) = tiny_data();
+        let mut cfg = LockstepConfig::guanyu(small_cluster(), 6);
+        cfg.alignment_every = 2;
+        let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        for _ in 0..6 {
+            t.step().unwrap();
+        }
+        assert!(!t.alignment_records().is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let (train, test) = tiny_data();
+            let cfg = LockstepConfig::guanyu(small_cluster(), seed);
+            let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+            t.run(5, 5, "det").unwrap()
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.records.last().unwrap().loss, b.records.last().unwrap().loss);
+        let c = run(10);
+        assert_ne!(
+            a.records.last().unwrap().loss,
+            c.records.last().unwrap().loss
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let (train, test) = tiny_data();
+        let cfg = LockstepConfig::guanyu(small_cluster(), 8);
+        let mut t = LockstepTrainer::new(cfg.clone(), builder, train.clone(), test.clone())
+            .unwrap();
+        for _ in 0..4 {
+            t.step().unwrap();
+        }
+        let ckpt = t.checkpoint().unwrap();
+        let json = ckpt.to_json().unwrap();
+
+        // Fresh trainer, restore, continue.
+        let mut t2 = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        let restored = crate::checkpoint::Checkpoint::from_json(&json).unwrap();
+        t2.restore(&restored).unwrap();
+        assert_eq!(t2.step_count(), 4);
+        assert_eq!(t2.honest_server_params(), t.honest_server_params());
+        t2.step().unwrap();
+        assert_eq!(t2.step_count(), 5);
+        assert!(t2.global_model().unwrap().is_finite());
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let (train, test) = tiny_data();
+        let cfg = LockstepConfig::guanyu(small_cluster(), 8);
+        let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        let bad = crate::checkpoint::Checkpoint::new(1, 0.1, vec![Tensor::zeros(&[3]); 2]);
+        assert!(t.restore(&bad).is_err());
+    }
+
+    #[test]
+    fn byzantine_deployment_time_exceeds_vanilla() {
+        let (train, test) = tiny_data();
+        let mut v = LockstepTrainer::new(
+            LockstepConfig::vanilla(9, true, 7),
+            builder,
+            train.clone(),
+            test.clone(),
+        )
+        .unwrap();
+        let mut g = LockstepTrainer::new(
+            LockstepConfig::guanyu(small_cluster(), 7),
+            builder,
+            train,
+            test,
+        )
+        .unwrap();
+        for _ in 0..3 {
+            v.step().unwrap();
+            g.step().unwrap();
+        }
+        assert!(
+            g.sim_time_secs() > v.sim_time_secs(),
+            "Byzantine resilience must cost simulated time: {} vs {}",
+            g.sim_time_secs(),
+            v.sim_time_secs()
+        );
+    }
+}

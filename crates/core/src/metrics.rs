@@ -1,0 +1,186 @@
+//! Training metrics: accuracy/loss records and throughput summaries.
+
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+use data::Dataset;
+use nn::{accuracy, softmax_cross_entropy, Sequential};
+
+use crate::Result;
+
+/// One evaluation point on a training curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingRecord {
+    /// Model updates completed so far (the x-axis of Figs. 3(a)/(c)).
+    pub step: u64,
+    /// Simulated seconds elapsed (the x-axis of Figs. 3(b)/(d)).
+    pub sim_time_secs: f64,
+    /// Top-1 accuracy on the held-out test set.
+    pub accuracy: f32,
+    /// Cross-entropy loss on the test set.
+    pub loss: f32,
+}
+
+/// The result of one training run — everything the figures plot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Name of the system that produced the run (e.g. `"vanilla TF"`).
+    pub system: String,
+    /// Evaluation trajectory.
+    pub records: Vec<TrainingRecord>,
+    /// Total model updates performed.
+    pub total_steps: u64,
+    /// Total simulated time.
+    pub total_secs: f64,
+}
+
+impl RunResult {
+    /// Updates per simulated second — the paper's §5.2 throughput metric.
+    pub fn throughput(&self) -> f64 {
+        if self.total_secs == 0.0 {
+            0.0
+        } else {
+            self.total_steps as f64 / self.total_secs
+        }
+    }
+
+    /// First simulated time at which accuracy reached `target`, if ever —
+    /// used for the paper's "time to 60% accuracy" comparisons.
+    pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.accuracy >= target)
+            .map(|r| r.sim_time_secs)
+    }
+
+    /// First step at which accuracy reached `target`, if ever.
+    pub fn steps_to_accuracy(&self, target: f32) -> Option<u64> {
+        self.records
+            .iter()
+            .find(|r| r.accuracy >= target)
+            .map(|r| r.step)
+    }
+
+    /// Best accuracy seen over the run.
+    pub fn best_accuracy(&self) -> f32 {
+        self.records.iter().map(|r| r.accuracy).fold(0.0, f32::max)
+    }
+}
+
+/// Evaluates `params` on `test`, returning `(accuracy, loss)`.
+///
+/// Evaluation batches are capped at `batch` examples to bound peak memory
+/// on the CNN activations.
+///
+/// # Errors
+///
+/// Propagates model/data failures.
+pub fn evaluate(
+    model: &mut Sequential,
+    params: &Tensor,
+    test: &Dataset,
+    batch: usize,
+) -> Result<(f32, f32)> {
+    model.set_param_vector(params)?;
+    let n = test.len();
+    if n == 0 {
+        return Ok((0.0, 0.0));
+    }
+    let mut correct_weighted = 0.0f64;
+    let mut loss_weighted = 0.0f64;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch).min(n);
+        let idx: Vec<usize> = (start..end).collect();
+        let (x, labels) = test.batch(&idx)?;
+        let logits = model.forward(&x, false)?;
+        let acc = accuracy(&logits, &labels)?;
+        let (loss, _) = softmax_cross_entropy(&logits, &labels)?;
+        let w = (end - start) as f64;
+        correct_weighted += acc as f64 * w;
+        loss_weighted += loss as f64 * w;
+        start = end;
+    }
+    Ok((
+        (correct_weighted / n as f64) as f32,
+        (loss_weighted / n as f64) as f32,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use data::{gaussian_blobs, synthetic_cifar, SyntheticConfig};
+    use nn::models;
+    use tensor::TensorRng;
+
+    fn result_with(records: Vec<TrainingRecord>) -> RunResult {
+        let total_steps = records.last().map_or(0, |r| r.step);
+        let total_secs = records.last().map_or(0.0, |r| r.sim_time_secs);
+        RunResult {
+            system: "test".into(),
+            records,
+            total_steps,
+            total_secs,
+        }
+    }
+
+    #[test]
+    fn throughput_and_targets() {
+        let r = result_with(vec![
+            TrainingRecord { step: 10, sim_time_secs: 1.0, accuracy: 0.3, loss: 2.0 },
+            TrainingRecord { step: 20, sim_time_secs: 2.0, accuracy: 0.55, loss: 1.5 },
+            TrainingRecord { step: 30, sim_time_secs: 3.0, accuracy: 0.62, loss: 1.2 },
+        ]);
+        assert_eq!(r.throughput(), 10.0);
+        assert_eq!(r.time_to_accuracy(0.6), Some(3.0));
+        assert_eq!(r.steps_to_accuracy(0.5), Some(20));
+        assert_eq!(r.time_to_accuracy(0.9), None);
+        assert_eq!(r.best_accuracy(), 0.62);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let r = result_with(vec![]);
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.best_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn evaluate_on_blobs_logistic() {
+        let test = gaussian_blobs(64, 4, 2, 0.05, 3).unwrap();
+        let mut rng = TensorRng::new(0);
+        let mut model = models::logistic_regression(4, 2, &mut rng);
+        let params = model.param_vector();
+        let (acc, loss) = evaluate(&mut model, &params, &test, 16).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(loss > 0.0);
+    }
+
+    #[test]
+    fn evaluate_batches_cover_all_examples() {
+        // Evaluation over batch sizes that don't divide n must weight
+        // per-batch accuracies correctly; compare against one big batch.
+        let (_, test) = synthetic_cifar(&SyntheticConfig {
+            train: 8,
+            test: 10,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut rng = TensorRng::new(1);
+        let mut model = models::small_cnn(8, 4, 10, &mut rng);
+        let params = model.param_vector();
+        let (a1, l1) = evaluate(&mut model, &params, &test, 3).unwrap();
+        let (a2, l2) = evaluate(&mut model, &params, &test, 10).unwrap();
+        assert!((a1 - a2).abs() < 1e-6);
+        assert!((l1 - l2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn record_serde_roundtrip() {
+        let r = TrainingRecord { step: 5, sim_time_secs: 1.5, accuracy: 0.4, loss: 1.9 };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TrainingRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

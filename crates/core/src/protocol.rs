@@ -1,0 +1,696 @@
+//! Event-driven implementation of GuanYu over the asynchronous network
+//! simulator.
+//!
+//! Where [`crate::lockstep`] advances all nodes in synchronised rounds,
+//! this module implements the server and worker roles as genuine
+//! [`simnet::SimNode`] state machines: every model, gradient and exchange
+//! message is an individually-delayed network event; receivers fold the
+//! first `q` arrivals for their current step, discard stale messages and
+//! buffer early ones (bulk-synchronous training over an asynchronous
+//! network, the paper's §2.1).
+//!
+//! The node roster convention: node ids `[0, n)` are parameter servers,
+//! `[n, n + n̄)` are workers; within each range the *last*
+//! `actual_byz` ids are Byzantine. [`build_simulation`] wires everything
+//! and returns the shared [`Recorder`] that exposes server states and
+//! per-step completion times after the run.
+//!
+//! One honest-implementation nuance: Byzantine nodes here are *reactive* —
+//! they forge from the honest messages they have observed so far rather
+//! than from a global omniscient snapshot (full omniscience, which the
+//! paper grants the adversary, is exercised in the lockstep engine; see
+//! DESIGN.md §4).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use aggregation::{CoordinateWiseMedian, Gar, GarKind};
+use byzantine::{Attack, AttackKind, AttackView};
+use data::{Batcher, Dataset};
+use nn::{softmax_cross_entropy, LrSchedule, Sequential};
+use simnet::{Context, DelayModel, NodeId, SimNode, SimTime, Simulator};
+use tensor::{Tensor, TensorRng};
+
+use crate::config::ClusterConfig;
+use crate::cost::CostModel;
+use crate::{GuanYuError, Result};
+
+/// Protocol messages. Sizes on the wire follow
+/// [`CostModel::message_bytes`].
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Server → workers: the server's model at `step`.
+    Model {
+        /// Training step this model belongs to.
+        step: u64,
+        /// Flat parameter vector.
+        params: Tensor,
+    },
+    /// Worker → servers: a stochastic gradient for `step`.
+    Gradient {
+        /// Training step the gradient was computed for.
+        step: u64,
+        /// Flat gradient vector.
+        grad: Tensor,
+    },
+    /// Server → servers: the locally-updated model entering the exchange
+    /// fold of `step`.
+    Exchange {
+        /// Training step of the exchange.
+        step: u64,
+        /// Flat parameter vector after the local update.
+        params: Tensor,
+    },
+}
+
+/// Shared run state, written by server nodes, read by the harness.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// Latest parameter vector per honest server node id.
+    pub server_params: HashMap<usize, Tensor>,
+    /// `(server node id, step, completion time)` for every finished step.
+    pub step_completions: Vec<(usize, u64, SimTime)>,
+    /// Total model updates across honest servers.
+    pub updates: u64,
+}
+
+impl Recorder {
+    /// Honest servers' final parameter vectors, sorted by node id.
+    pub fn final_params(&self) -> Vec<Tensor> {
+        let mut ids: Vec<&usize> = self.server_params.keys().collect();
+        ids.sort();
+        ids.iter().map(|id| self.server_params[id].clone()).collect()
+    }
+
+    /// Simulated time at which the slowest honest server finished `step`.
+    pub fn step_finished_at(&self, step: u64) -> Option<SimTime> {
+        self.step_completions
+            .iter()
+            .filter(|&&(_, s, _)| s == step)
+            .map(|&(_, _, t)| t)
+            .max()
+    }
+}
+
+/// Everything the roles need to know about the deployment.
+#[derive(Clone)]
+pub struct ProtocolConfig {
+    /// Cluster sizing and quorums.
+    pub cluster: ClusterConfig,
+    /// Stop after this many model updates per server.
+    pub max_steps: u64,
+    /// Learning-rate schedule.
+    pub lr: LrSchedule,
+    /// Server-side gradient GAR.
+    pub server_gar: GarKind,
+    /// Cost model (compute delays + message sizes).
+    pub cost: CostModel,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Actually-Byzantine workers (the last ids of the worker range).
+    pub actual_byz_workers: usize,
+    /// Their attack.
+    pub worker_attack: Option<AttackKind>,
+    /// Actually-Byzantine servers (the last ids of the server range).
+    pub actual_byz_servers: usize,
+    /// Their attack.
+    pub server_attack: Option<AttackKind>,
+}
+
+impl ProtocolConfig {
+    fn server_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.cluster.servers).map(NodeId)
+    }
+
+    fn worker_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (self.cluster.servers..self.cluster.servers + self.cluster.workers).map(NodeId)
+    }
+}
+
+/// An honest parameter server (the left column of the paper's Fig. 2).
+struct ServerNode {
+    cfg: ProtocolConfig,
+    params: Tensor,
+    step: u64,
+    /// Gradients received per step.
+    grads: HashMap<u64, Vec<Tensor>>,
+    /// Exchange models received per step.
+    exchanges: HashMap<u64, Vec<Tensor>>,
+    /// Whether the local update for `step` has been applied and we are
+    /// waiting for the exchange quorum.
+    exchanging: bool,
+    gar: Box<dyn Gar>,
+    median: CoordinateWiseMedian,
+    recorder: Rc<RefCell<Recorder>>,
+}
+
+impl ServerNode {
+    fn broadcast_model(&self, ctx: &mut Context<'_, Msg>) {
+        let bytes = CostModel::message_bytes(self.params.len());
+        for w in self.cfg.worker_ids() {
+            ctx.send(
+                w,
+                Msg::Model {
+                    step: self.step,
+                    params: self.params.clone(),
+                },
+                bytes,
+            );
+        }
+    }
+
+    fn try_aggregate_gradients(&mut self, ctx: &mut Context<'_, Msg>) {
+        let q = self.cfg.cluster.worker_quorum;
+        let ready = self.grads.get(&self.step).map_or(false, |v| v.len() >= q);
+        if !ready || self.exchanging {
+            return;
+        }
+        let received = self.grads.remove(&self.step).expect("checked above");
+        let agg = match self.gar.aggregate(&received[..q]) {
+            Ok(a) => a,
+            Err(_) => return, // malformed quorum (e.g. NaN injection): wait for more
+        };
+        let lr = self.cfg.lr.at(self.step);
+        let d = self.params.len();
+        self.params.axpy(-lr, &agg).expect("dimensions fixed");
+        let compute = self.cfg.cost.multikrum_secs(q, d)
+            + self.cfg.cost.update_secs(d)
+            + self.cfg.cost.convert_secs(d);
+
+        if self.cfg.cluster.servers > 1 {
+            // Enter the exchange fold: own model counts immediately.
+            self.exchanging = true;
+            self.exchanges
+                .entry(self.step)
+                .or_default()
+                .push(self.params.clone());
+            let bytes = CostModel::message_bytes(d);
+            for s in self.cfg.server_ids() {
+                if s != ctx.me() {
+                    ctx.send_after(
+                        compute,
+                        s,
+                        Msg::Exchange {
+                            step: self.step,
+                            params: self.params.clone(),
+                        },
+                        bytes,
+                    );
+                }
+            }
+            self.try_fold_exchanges(ctx);
+        } else {
+            self.finish_step(ctx);
+        }
+    }
+
+    fn try_fold_exchanges(&mut self, ctx: &mut Context<'_, Msg>) {
+        let q = self.cfg.cluster.server_quorum;
+        let ready = self
+            .exchanges
+            .get(&self.step)
+            .map_or(false, |v| v.len() >= q);
+        if !ready || !self.exchanging {
+            return;
+        }
+        let received = self.exchanges.remove(&self.step).expect("checked above");
+        if let Ok(folded) = self.median.aggregate(&received[..q]) {
+            self.params = folded;
+        }
+        self.finish_step(ctx);
+    }
+
+    fn finish_step(&mut self, ctx: &mut Context<'_, Msg>) {
+        {
+            let mut rec = self.recorder.borrow_mut();
+            rec.server_params.insert(ctx.me().0, self.params.clone());
+            rec.step_completions.push((ctx.me().0, self.step, ctx.now()));
+            rec.updates += 1;
+        }
+        self.exchanging = false;
+        self.step += 1;
+        self.grads.retain(|&s, _| s >= self.step);
+        self.exchanges.retain(|&s, _| s >= self.step);
+        if self.step < self.cfg.max_steps {
+            self.broadcast_model(ctx);
+        }
+    }
+}
+
+impl SimNode<Msg> for ServerNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.broadcast_model(ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg {
+            Msg::Gradient { step, grad } => {
+                // Bulk-synchronous rule: only gradients computed at step t
+                // feed the update at step t; stale ones are discarded, early
+                // ones buffered.
+                if step >= self.step && grad.len() == self.params.len() && grad.is_finite() {
+                    self.grads.entry(step).or_default().push(grad);
+                    self.try_aggregate_gradients(ctx);
+                }
+            }
+            Msg::Exchange { step, params } => {
+                if step >= self.step && params.len() == self.params.len() && params.is_finite() {
+                    self.exchanges.entry(step).or_default().push(params);
+                    self.try_fold_exchanges(ctx);
+                }
+            }
+            Msg::Model { .. } => {} // servers ignore model broadcasts
+        }
+    }
+}
+
+/// An honest worker (the right column of Fig. 2).
+struct WorkerNode {
+    cfg: ProtocolConfig,
+    step: u64,
+    models: HashMap<u64, Vec<Tensor>>,
+    model: Sequential,
+    batcher: Batcher,
+    train: Rc<Dataset>,
+    median: CoordinateWiseMedian,
+}
+
+impl WorkerNode {
+    fn try_compute(&mut self, ctx: &mut Context<'_, Msg>) {
+        let q = self.cfg.cluster.server_quorum;
+        while self
+            .models
+            .get(&self.step)
+            .map_or(false, |v| v.len() >= q)
+        {
+            let received = self.models.remove(&self.step).expect("checked above");
+            let folded = match self.median.aggregate(&received[..q]) {
+                Ok(f) => f,
+                Err(_) => return,
+            };
+            let d = folded.len();
+            if self.model.set_param_vector(&folded).is_err() {
+                return;
+            }
+            self.model.zero_grads();
+            let grad = match self
+                .batcher
+                .next_batch(&self.train)
+                .map_err(|e| e.to_string())
+                .and_then(|(x, labels)| {
+                    let logits = self.model.forward(&x, true).map_err(|e| e.to_string())?;
+                    let (_, dl) =
+                        softmax_cross_entropy(&logits, &labels).map_err(|e| e.to_string())?;
+                    self.model.backward(&dl).map_err(|e| e.to_string())?;
+                    Ok(self.model.grad_vector())
+                }) {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+            let compute = self.cfg.cost.gradient_secs(self.cfg.batch_size, d)
+                + self.cfg.cost.median_secs(q, d)
+                + 2.0 * self.cfg.cost.convert_secs(d);
+            let bytes = CostModel::message_bytes(d);
+            for s in self.cfg.server_ids() {
+                ctx.send_after(
+                    compute,
+                    s,
+                    Msg::Gradient {
+                        step: self.step,
+                        grad: grad.clone(),
+                    },
+                    bytes,
+                );
+            }
+            self.step += 1;
+            self.models.retain(|&s, _| s >= self.step);
+        }
+    }
+}
+
+impl SimNode<Msg> for WorkerNode {
+    fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        if let Msg::Model { step, params } = msg {
+            if step >= self.step && params.is_finite() {
+                self.models.entry(step).or_default().push(params);
+                self.try_compute(ctx);
+            }
+        }
+    }
+}
+
+/// A Byzantine worker: forges a gradient for every step it observes,
+/// equivocating per receiving server, with zero compute time (the
+/// adversary does not pay for honest work).
+struct ByzantineWorkerNode {
+    cfg: ProtocolConfig,
+    attack: Box<dyn Attack>,
+    /// Models observed per step (the adversary's view of the round).
+    observed: HashMap<u64, Vec<Tensor>>,
+    forged_for: HashMap<u64, bool>,
+}
+
+impl SimNode<Msg> for ByzantineWorkerNode {
+    fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        if let Msg::Model { step, params } = msg {
+            self.observed.entry(step).or_default().push(params);
+            if self.forged_for.contains_key(&step) {
+                return;
+            }
+            self.forged_for.insert(step, true);
+            let honest = self.observed[&step].clone();
+            let d = honest[0].len();
+            let bytes = CostModel::message_bytes(d);
+            let server_ids: Vec<NodeId> = self.cfg.server_ids().collect();
+            for (r, s) in server_ids.into_iter().enumerate() {
+                let view = AttackView::new(&honest, step, r);
+                if let Some(forged) = self.attack.forge(&view) {
+                    ctx.send(s, Msg::Gradient { step, grad: forged }, bytes);
+                }
+            }
+            self.observed.retain(|&s, _| s + 2 >= step);
+        }
+    }
+}
+
+/// A Byzantine server: forges models toward workers (equivocating) and
+/// exchange messages toward honest servers, reacting to the honest
+/// exchange traffic it observes.
+struct ByzantineServerNode {
+    cfg: ProtocolConfig,
+    attack: Box<dyn Attack>,
+    observed: HashMap<u64, Vec<Tensor>>,
+    forged_for: HashMap<u64, bool>,
+    dim: usize,
+}
+
+impl ByzantineServerNode {
+    fn forge_round(&mut self, step: u64, ctx: &mut Context<'_, Msg>) {
+        if self.forged_for.contains_key(&step) {
+            return;
+        }
+        let honest = match self.observed.get(&step) {
+            Some(h) if !h.is_empty() => h.clone(),
+            _ => vec![Tensor::zeros(&[self.dim])],
+        };
+        self.forged_for.insert(step, true);
+        let bytes = CostModel::message_bytes(self.dim);
+        let worker_ids: Vec<NodeId> = self.cfg.worker_ids().collect();
+        for (r, w) in worker_ids.into_iter().enumerate() {
+            let view = AttackView::new(&honest, step, r);
+            if let Some(forged) = self.attack.forge(&view) {
+                ctx.send(w, Msg::Model { step, params: forged }, bytes);
+            }
+        }
+        let server_ids: Vec<NodeId> = self.cfg.server_ids().collect();
+        for (r, s) in server_ids.into_iter().enumerate() {
+            if s == ctx.me() {
+                continue;
+            }
+            let view = AttackView::new(&honest, step, r + 1000);
+            if let Some(forged) = self.attack.forge(&view) {
+                ctx.send(s, Msg::Exchange { step, params: forged }, bytes);
+            }
+        }
+    }
+}
+
+impl SimNode<Msg> for ByzantineServerNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.forge_round(0, ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        if let Msg::Exchange { step, params } = msg {
+            self.observed.entry(step).or_default().push(params);
+            // Honest servers exchanging at `step` will enter `step + 1`:
+            // forge the next round's lies now so they arrive first.
+            self.forge_round(step + 1, ctx);
+            self.observed.retain(|&s, _| s + 2 >= step);
+        }
+    }
+}
+
+/// Builds a ready-to-run simulation of the deployment.
+///
+/// Returns the simulator and the shared [`Recorder`]. The caller picks the
+/// delay model and seed, then calls [`Simulator::run`].
+///
+/// # Errors
+///
+/// Returns [`GuanYuError::InvalidConfig`] on inconsistent configuration.
+pub fn build_simulation(
+    cfg: &ProtocolConfig,
+    model_builder: impl Fn(&mut TensorRng) -> Sequential,
+    train: Dataset,
+    seed: u64,
+    delay: DelayModel,
+) -> Result<(Simulator<Msg>, Rc<RefCell<Recorder>>)> {
+    if cfg.cluster.servers > 1 {
+        cfg.cluster.validate()?;
+    }
+    if cfg.actual_byz_workers > cfg.cluster.byz_workers
+        || cfg.actual_byz_servers > cfg.cluster.byz_servers
+    {
+        return Err(GuanYuError::InvalidConfig(
+            "actual Byzantine counts exceed declared counts".into(),
+        ));
+    }
+    if (cfg.actual_byz_workers > 0 && cfg.worker_attack.is_none())
+        || (cfg.actual_byz_servers > 0 && cfg.server_attack.is_none())
+    {
+        return Err(GuanYuError::InvalidConfig(
+            "Byzantine nodes configured without an attack".into(),
+        ));
+    }
+
+    let mut rng = TensorRng::new(seed);
+    let mut init_rng = rng.fork(0xA11);
+    let template = model_builder(&mut init_rng);
+    let theta0 = template.param_vector();
+    let dim = theta0.len();
+    let train = Rc::new(train);
+
+    let recorder = Rc::new(RefCell::new(Recorder::default()));
+    let mut sim = Simulator::new(seed ^ 0x51D, delay);
+
+    let honest_servers = cfg.cluster.servers - cfg.actual_byz_servers;
+    for s in 0..cfg.cluster.servers {
+        if s < honest_servers {
+            let gar = cfg
+                .server_gar
+                .build(cfg.cluster.krum_f())
+                .map_err(|e| GuanYuError::InvalidConfig(e.to_string()))?;
+            sim.add_node(Box::new(ServerNode {
+                cfg: cfg.clone(),
+                params: theta0.clone(),
+                step: 0,
+                grads: HashMap::new(),
+                exchanges: HashMap::new(),
+                exchanging: false,
+                gar,
+                median: CoordinateWiseMedian::new(),
+                recorder: Rc::clone(&recorder),
+            }));
+        } else {
+            sim.add_node(Box::new(ByzantineServerNode {
+                cfg: cfg.clone(),
+                attack: cfg
+                    .server_attack
+                    .expect("validated above")
+                    .build(seed ^ 0x5E6 ^ (s as u64) << 8),
+                observed: HashMap::new(),
+                forged_for: HashMap::new(),
+                dim,
+            }));
+        }
+    }
+
+    let honest_workers = cfg.cluster.workers - cfg.actual_byz_workers;
+    for w in 0..cfg.cluster.workers {
+        if w < honest_workers {
+            let mut worker_rng = rng.fork(0xB0B + w as u64);
+            sim.add_node(Box::new(WorkerNode {
+                cfg: cfg.clone(),
+                step: 0,
+                models: HashMap::new(),
+                model: model_builder(&mut worker_rng),
+                batcher: Batcher::new(train.len(), cfg.batch_size, seed ^ (w as u64) << 17),
+                train: Rc::clone(&train),
+                median: CoordinateWiseMedian::new(),
+            }));
+        } else {
+            sim.add_node(Box::new(ByzantineWorkerNode {
+                cfg: cfg.clone(),
+                attack: cfg
+                    .worker_attack
+                    .expect("validated above")
+                    .build(seed ^ 0xEB1 ^ (w as u64) << 8),
+                observed: HashMap::new(),
+                forged_for: HashMap::new(),
+            }));
+        }
+    }
+
+    Ok((sim, recorder))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use data::{synthetic_cifar, SyntheticConfig};
+    use nn::models;
+
+    fn tiny_train() -> Dataset {
+        synthetic_cifar(&SyntheticConfig {
+            train: 64,
+            test: 0,
+            side: 8,
+            ..Default::default()
+        })
+        .unwrap()
+        .0
+    }
+
+    fn builder(rng: &mut TensorRng) -> Sequential {
+        models::small_cnn(8, 2, 10, rng)
+    }
+
+    fn base_cfg(max_steps: u64) -> ProtocolConfig {
+        ProtocolConfig {
+            cluster: ClusterConfig::new(6, 1, 9, 2).unwrap(),
+            max_steps,
+            lr: LrSchedule::constant(0.05),
+            server_gar: GarKind::MultiKrum,
+            cost: CostModel::guanyu(),
+            batch_size: 8,
+            actual_byz_workers: 0,
+            worker_attack: None,
+            actual_byz_servers: 0,
+            server_attack: None,
+        }
+    }
+
+    #[test]
+    fn honest_run_completes_all_steps() {
+        let cfg = base_cfg(5);
+        let (mut sim, rec) =
+            build_simulation(&cfg, builder, tiny_train(), 1, DelayModel::grid5000()).unwrap();
+        sim.run();
+        let rec = rec.borrow();
+        // all 6 servers are honest here (actual_byz_servers = 0) × 5 steps
+        assert_eq!(rec.updates, 30);
+        assert_eq!(rec.final_params().len(), 6);
+        for step in 0..5 {
+            assert!(rec.step_finished_at(step).is_some());
+        }
+    }
+
+    #[test]
+    fn servers_agree_closely_after_honest_run() {
+        let cfg = base_cfg(8);
+        let (mut sim, rec) =
+            build_simulation(&cfg, builder, tiny_train(), 2, DelayModel::grid5000()).unwrap();
+        sim.run();
+        let params = rec.borrow().final_params();
+        let diam = aggregation::properties::diameter(&params).unwrap();
+        let scale = params[0].norm().max(1.0);
+        assert!(diam < scale, "diameter {diam} vs scale {scale}");
+    }
+
+    #[test]
+    fn simulated_time_advances_monotonically_per_step() {
+        let cfg = base_cfg(4);
+        let (mut sim, rec) =
+            build_simulation(&cfg, builder, tiny_train(), 3, DelayModel::grid5000()).unwrap();
+        sim.run();
+        let rec = rec.borrow();
+        let t0 = rec.step_finished_at(0).unwrap();
+        let t3 = rec.step_finished_at(3).unwrap();
+        assert!(t3 > t0);
+    }
+
+    #[test]
+    fn byzantine_workers_do_not_stall_progress() {
+        let mut cfg = base_cfg(5);
+        cfg.actual_byz_workers = 2;
+        cfg.worker_attack = Some(AttackKind::Random { scale: 100.0 });
+        let (mut sim, rec) =
+            build_simulation(&cfg, builder, tiny_train(), 4, DelayModel::grid5000()).unwrap();
+        sim.run();
+        assert_eq!(rec.borrow().updates, 30, "6 honest servers × 5 steps");
+    }
+
+    #[test]
+    fn mute_byzantine_workers_tolerated() {
+        let mut cfg = base_cfg(4);
+        cfg.actual_byz_workers = 2;
+        cfg.worker_attack = Some(AttackKind::Mute);
+        let (mut sim, rec) =
+            build_simulation(&cfg, builder, tiny_train(), 5, DelayModel::grid5000()).unwrap();
+        sim.run();
+        // quorum q̄ = 7 ≤ 7 honest workers: progress guaranteed
+        assert_eq!(rec.borrow().updates, 24, "6 honest servers × 4 steps");
+    }
+
+    #[test]
+    fn byzantine_server_equivocation_tolerated() {
+        let mut cfg = base_cfg(5);
+        cfg.actual_byz_servers = 1;
+        cfg.server_attack = Some(AttackKind::Equivocate { scale: 10.0 });
+        let (mut sim, rec) =
+            build_simulation(&cfg, builder, tiny_train(), 6, DelayModel::grid5000()).unwrap();
+        sim.run();
+        let rec = rec.borrow();
+        assert_eq!(rec.updates, 25, "5 honest servers × 5 steps");
+        let params = rec.final_params();
+        let diam = aggregation::properties::diameter(&params).unwrap();
+        assert!(diam.is_finite());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let cfg = base_cfg(3);
+            let (mut sim, rec) =
+                build_simulation(&cfg, builder, tiny_train(), seed, DelayModel::grid5000())
+                    .unwrap();
+            sim.run();
+            let p = rec.borrow().final_params();
+            p[0].as_slice().to_vec()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn invalid_actual_counts_rejected() {
+        let mut cfg = base_cfg(1);
+        cfg.actual_byz_workers = 5; // declared 2
+        cfg.worker_attack = Some(AttackKind::Mute);
+        assert!(
+            build_simulation(&cfg, builder, tiny_train(), 0, DelayModel::grid5000()).is_err()
+        );
+    }
+
+    #[test]
+    fn single_server_vanilla_shape_runs() {
+        let cfg = ProtocolConfig {
+            cluster: ClusterConfig::single_server(4),
+            max_steps: 3,
+            lr: LrSchedule::constant(0.05),
+            server_gar: GarKind::Average,
+            cost: CostModel::vanilla_tf(),
+            batch_size: 8,
+            actual_byz_workers: 0,
+            worker_attack: None,
+            actual_byz_servers: 0,
+            server_attack: None,
+        };
+        let (mut sim, rec) =
+            build_simulation(&cfg, builder, tiny_train(), 9, DelayModel::grid5000()).unwrap();
+        sim.run();
+        assert_eq!(rec.borrow().updates, 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the cluster-configuration bounds and the cost model.
+
+use guanyu::config::ClusterConfig;
+use guanyu::cost::CostModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The constructor's accept/reject boundary is exactly the paper's
+    /// `n ≥ 3f + 3 ∧ n̄ ≥ 3f̄ + 3` condition.
+    #[test]
+    fn validity_boundary(
+        servers in 1usize..30,
+        byz_servers in 0usize..10,
+        workers in 1usize..40,
+        byz_workers in 0usize..12,
+    ) {
+        let legal = servers >= 3 * byz_servers + 3 && workers >= 3 * byz_workers + 3;
+        let built = ClusterConfig::new(servers, byz_servers, workers, byz_workers);
+        prop_assert_eq!(
+            built.is_ok(),
+            legal,
+            "n={} f={} nw={} fw={}",
+            servers,
+            byz_servers,
+            workers,
+            byz_workers
+        );
+    }
+
+    /// Default quorums always sit inside the legal window for any valid
+    /// cluster.
+    #[test]
+    fn default_quorums_legal(f in 0usize..6, fw in 0usize..6, extra_s in 0usize..5, extra_w in 0usize..8) {
+        let servers = 3 * f + 3 + extra_s;
+        let workers = 3 * fw + 3 + extra_w;
+        let cfg = ClusterConfig::new(servers, f, workers, fw).unwrap();
+        prop_assert!(cfg.server_quorum >= 2 * f + 3);
+        prop_assert!(cfg.server_quorum <= servers - f);
+        prop_assert!(cfg.worker_quorum >= 2 * fw + 3);
+        prop_assert!(cfg.worker_quorum <= workers - fw);
+        prop_assert!(cfg.validate().is_ok());
+    }
+
+    /// Honest majorities: any valid config leaves more than 2/3 honest on
+    /// each side (the optimality argument of the paper's §3.5).
+    #[test]
+    fn honest_supermajority(f in 0usize..6, fw in 0usize..6) {
+        let cfg = ClusterConfig::new(3 * f + 3, f, 3 * fw + 3, fw).unwrap();
+        prop_assert!(cfg.honest_servers() * 3 > cfg.servers * 2);
+        prop_assert!(cfg.honest_workers() * 3 > cfg.workers * 2);
+    }
+
+    /// Cost-model monotonicity: more data, more dimensions, more inputs —
+    /// never cheaper.
+    #[test]
+    fn cost_monotonicity(
+        d1 in 1usize..1_000_000,
+        d2 in 1usize..1_000_000,
+        n1 in 1usize..50,
+        n2 in 1usize..50,
+        batch in 1usize..256,
+    ) {
+        let m = CostModel::guanyu();
+        let (dlo, dhi) = (d1.min(d2), d1.max(d2));
+        let (nlo, nhi) = (n1.min(n2), n1.max(n2));
+        prop_assert!(m.gradient_secs(batch, dlo) <= m.gradient_secs(batch, dhi));
+        prop_assert!(m.transfer_secs(dlo) <= m.transfer_secs(dhi));
+        prop_assert!(m.multikrum_secs(nlo, dhi) <= m.multikrum_secs(nhi, dhi));
+        prop_assert!(m.median_secs(nlo, dhi) <= m.median_secs(nhi, dhi));
+        // robustness is never cheaper than averaging at the same size
+        prop_assert!(m.average_secs(nhi, dhi) <= m.median_secs(nhi, dhi));
+    }
+
+    /// The native runtime is never slower than the low-level one on the
+    /// conversion leg, and identical elsewhere.
+    #[test]
+    fn native_runtime_dominates(d in 1usize..2_000_000) {
+        let native = CostModel::vanilla_tf();
+        let lowlevel = CostModel::guanyu();
+        prop_assert_eq!(native.convert_secs(d), 0.0);
+        prop_assert!(lowlevel.convert_secs(d) >= 0.0);
+        prop_assert_eq!(native.transfer_secs(d), lowlevel.transfer_secs(d));
+        prop_assert_eq!(
+            native.gradient_secs(32, d),
+            lowlevel.gradient_secs(32, d)
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Seeded mini-batch iteration.
+
+use tensor::{Tensor, TensorRng};
+
+use crate::{Dataset, Result};
+
+/// Yields shuffled mini-batches from a [`Dataset`], reshuffling at every
+/// epoch boundary with its own deterministic random stream.
+///
+/// Each simulated worker owns one `Batcher` seeded from its node id, so
+/// workers draw independent stochastic gradients — the i.i.d.-across-workers
+/// assumption (assumption 3) of the paper's proof.
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    order: Vec<usize>,
+    cursor: usize,
+    batch_size: usize,
+    epoch: usize,
+    rng: TensorRng,
+}
+
+impl Batcher {
+    /// Creates a batcher with the given batch size and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is 0.
+    pub fn new(dataset_len: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut rng = TensorRng::new(seed);
+        let mut order: Vec<usize> = (0..dataset_len).collect();
+        rng.shuffle(&mut order);
+        Batcher {
+            order,
+            cursor: 0,
+            batch_size,
+            epoch: 0,
+            rng,
+        }
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Completed epochs (full passes over the data).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Returns the next batch of indices, wrapping (and reshuffling) at the
+    /// epoch boundary. The final partial batch of an epoch is padded from
+    /// the next epoch's order, so every batch has exactly `batch_size`
+    /// elements — matching fixed-size mini-batch SGD.
+    pub fn next_indices(&mut self) -> Vec<usize> {
+        let mut batch = Vec::with_capacity(self.batch_size);
+        while batch.len() < self.batch_size {
+            if self.cursor >= self.order.len() {
+                self.rng.shuffle(&mut self.order);
+                self.cursor = 0;
+                self.epoch += 1;
+            }
+            batch.push(self.order[self.cursor]);
+            self.cursor += 1;
+        }
+        batch
+    }
+
+    /// Convenience: materialises the next `(features, labels)` batch from
+    /// `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::DatasetError`] if the dataset is smaller than the
+    /// index order this batcher was built for.
+    pub fn next_batch(&mut self, dataset: &Dataset) -> Result<(Tensor, Vec<usize>)> {
+        let idx = self.next_indices();
+        dataset.batch(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_have_fixed_size() {
+        let mut b = Batcher::new(10, 4, 0);
+        for _ in 0..10 {
+            assert_eq!(b.next_indices().len(), 4);
+        }
+    }
+
+    #[test]
+    fn epoch_covers_all_examples() {
+        let mut b = Batcher::new(8, 4, 1);
+        let mut seen: Vec<usize> = Vec::new();
+        seen.extend(b.next_indices());
+        seen.extend(b.next_indices());
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn epoch_counter_advances() {
+        let mut b = Batcher::new(6, 3, 2);
+        assert_eq!(b.epoch(), 0);
+        b.next_indices();
+        b.next_indices();
+        b.next_indices(); // wraps into epoch 1
+        assert_eq!(b.epoch(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Batcher::new(20, 5, 7);
+        let mut b = Batcher::new(20, 5, 7);
+        for _ in 0..8 {
+            assert_eq!(a.next_indices(), b.next_indices());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Batcher::new(20, 5, 7);
+        let mut b = Batcher::new(20, 5, 8);
+        let xs: Vec<Vec<usize>> = (0..4).map(|_| a.next_indices()).collect();
+        let ys: Vec<Vec<usize>> = (0..4).map(|_| b.next_indices()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = Batcher::new(10, 0, 0);
+    }
+
+    #[test]
+    fn next_batch_materialises() {
+        let features = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[4, 2]).unwrap();
+        let d = Dataset::new(features, vec![0, 1, 0, 1], 2).unwrap();
+        let mut b = Batcher::new(4, 2, 3);
+        let (x, y) = b.next_batch(&d).unwrap();
+        assert_eq!(x.dims(), &[2, 2]);
+        assert_eq!(y.len(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Loader for the real CIFAR-10 binary format.
+//!
+//! CIFAR-10's binary batches (`data_batch_1.bin` … `data_batch_5.bin`,
+//! `test_batch.bin`) each hold 10 000 records of 3073 bytes: one label byte
+//! followed by 3×32×32 channel-major pixel bytes. This loader exists so the
+//! reproduction can run on the paper's real dataset when the files are
+//! present; the offline experiments use [`crate::synthetic_cifar`] instead
+//! (see DESIGN.md §4).
+
+use std::fs;
+use std::path::Path;
+
+use tensor::Tensor;
+
+use crate::{Dataset, DatasetError, Result};
+
+const RECORD: usize = 1 + 3 * 32 * 32;
+
+/// Parses one CIFAR-10 binary file's bytes into `(pixels, labels)`.
+///
+/// Pixels are scaled to `[-1, 1]` (`x/127.5 - 1`).
+fn parse_batch(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>)> {
+    if bytes.is_empty() || bytes.len() % RECORD != 0 {
+        return Err(DatasetError::Io(format!(
+            "CIFAR batch length {} is not a multiple of {RECORD}",
+            bytes.len()
+        )));
+    }
+    let n = bytes.len() / RECORD;
+    let mut pixels = Vec::with_capacity(n * (RECORD - 1));
+    let mut labels = Vec::with_capacity(n);
+    for rec in bytes.chunks_exact(RECORD) {
+        let label = rec[0] as usize;
+        if label >= 10 {
+            return Err(DatasetError::Io(format!("CIFAR label {label} > 9")));
+        }
+        labels.push(label);
+        pixels.extend(rec[1..].iter().map(|&b| b as f32 / 127.5 - 1.0));
+    }
+    Ok((pixels, labels))
+}
+
+/// Loads CIFAR-10 from a directory containing the binary batches.
+///
+/// Returns `(train, test)`: the five training batches concatenated
+/// (50 000 images) and the test batch (10 000 images), with features
+/// `[n, 3, 32, 32]` in `[-1, 1]`.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] when files are missing or malformed.
+pub fn load_cifar10_dir(dir: &Path) -> Result<(Dataset, Dataset)> {
+    let mut train_pixels = Vec::new();
+    let mut train_labels = Vec::new();
+    for i in 1..=5 {
+        let path = dir.join(format!("data_batch_{i}.bin"));
+        let bytes = fs::read(&path)
+            .map_err(|e| DatasetError::Io(format!("{}: {e}", path.display())))?;
+        let (p, l) = parse_batch(&bytes)?;
+        train_pixels.extend(p);
+        train_labels.extend(l);
+    }
+    let test_path = dir.join("test_batch.bin");
+    let bytes = fs::read(&test_path)
+        .map_err(|e| DatasetError::Io(format!("{}: {e}", test_path.display())))?;
+    let (test_pixels, test_labels) = parse_batch(&bytes)?;
+
+    let n_train = train_labels.len();
+    let n_test = test_labels.len();
+    Ok((
+        Dataset::new(
+            Tensor::from_vec(train_pixels, &[n_train, 3, 32, 32])?,
+            train_labels,
+            10,
+        )?,
+        Dataset::new(
+            Tensor::from_vec(test_pixels, &[n_test, 3, 32, 32])?,
+            test_labels,
+            10,
+        )?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_synthetic_record() {
+        // one record: label 7, all pixels 255
+        let mut bytes = vec![7u8];
+        bytes.extend(std::iter::repeat(255u8).take(RECORD - 1));
+        let (pixels, labels) = parse_batch(&bytes).unwrap();
+        assert_eq!(labels, vec![7]);
+        assert_eq!(pixels.len(), 3 * 32 * 32);
+        assert!((pixels[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_scales_zero_to_minus_one() {
+        let mut bytes = vec![0u8];
+        bytes.extend(std::iter::repeat(0u8).take(RECORD - 1));
+        let (pixels, _) = parse_batch(&bytes).unwrap();
+        assert!((pixels[0] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_rejects_truncated() {
+        assert!(parse_batch(&[1, 2, 3]).is_err());
+        assert!(parse_batch(&[]).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_label() {
+        let mut bytes = vec![12u8];
+        bytes.extend(std::iter::repeat(0u8).take(RECORD - 1));
+        assert!(parse_batch(&bytes).is_err());
+    }
+
+    #[test]
+    fn missing_directory_is_io_error() {
+        let err = load_cifar10_dir(Path::new("/nonexistent-cifar")).unwrap_err();
+        assert!(matches!(err, DatasetError::Io(_)));
+    }
+}

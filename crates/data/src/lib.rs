@@ -1,0 +1,34 @@
+//! Datasets for the GuanYu reproduction.
+//!
+//! The paper evaluates on CIFAR-10. CIFAR-10's binary files are not
+//! available in this offline environment, so the primary dataset here is a
+//! **synthetic CIFAR substitute** ([`synthetic_cifar`]): 10 Gaussian class
+//! prototypes in image space with controlled intra-class noise. The
+//! substitution is documented in `DESIGN.md` §4; nothing in the paper's
+//! claims depends on natural-image statistics — the workload only needs a
+//! non-convex classification task with measurable held-out accuracy.
+//!
+//! A loader for the real CIFAR-10 binary format ([`load_cifar10_dir`]) is
+//! included for environments where the files exist.
+//!
+//! [`Dataset`] carries features and labels; [`Batcher`] yields seeded,
+//! shuffled mini-batches so each simulated worker draws an independent
+//! stochastic gradient stream.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod batcher;
+mod cifar;
+mod dataset;
+mod partition;
+mod synthetic;
+
+pub use batcher::Batcher;
+pub use cifar::load_cifar10_dir;
+pub use partition::{label_skew, partition_dataset, partition_indices, Partition};
+pub use dataset::{Dataset, DatasetError};
+pub use synthetic::{gaussian_blobs, synthetic_cifar, SyntheticConfig};
+
+/// Convenience alias for dataset results.
+pub type Result<T> = std::result::Result<T, DatasetError>;

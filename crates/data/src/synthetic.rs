@@ -1,0 +1,292 @@
+//! Synthetic datasets: the CIFAR-10 substitute and fast low-dimensional
+//! blobs.
+
+use tensor::{Tensor, TensorRng};
+
+use crate::{Dataset, Result};
+
+/// Configuration for [`synthetic_cifar`].
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of training examples.
+    pub train: usize,
+    /// Number of test examples.
+    pub test: usize,
+    /// Image side length (CIFAR is 32; the fast experiments use 8).
+    pub side: usize,
+    /// Number of channels (CIFAR is 3).
+    pub channels: usize,
+    /// Number of classes (CIFAR is 10).
+    pub classes: usize,
+    /// Per-pixel Gaussian noise std added to the class prototype. Controls
+    /// task difficulty: higher noise → lower attainable accuracy.
+    pub noise: f32,
+    /// Fraction of labels flipped uniformly at random (poisoned labels in
+    /// some experiments; 0.0 for the standard workload).
+    pub label_noise: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            train: 1024,
+            test: 256,
+            side: 8,
+            channels: 3,
+            classes: 10,
+            noise: 0.35,
+            label_noise: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates the synthetic CIFAR substitute (substitution S3 in DESIGN.md).
+///
+/// Each class `c` gets a smooth random prototype image (a mixture of a few
+/// random low-frequency sinusoids, mimicking the dominant low-frequency
+/// energy of natural images); an example of class `c` is the prototype plus
+/// i.i.d. pixel noise. The task is learnable but not trivial: a linear
+/// model underfits at high noise, the paper's CNN topology separates it.
+///
+/// Returns `(train, test)` datasets with features `[n, channels, side,
+/// side]` normalised to roughly [-1, 1].
+///
+/// # Errors
+///
+/// Propagates tensor construction errors (shape volume overflow etc.).
+pub fn synthetic_cifar(config: &SyntheticConfig) -> Result<(Dataset, Dataset)> {
+    let mut rng = TensorRng::new(config.seed);
+    let side = config.side;
+    let c = config.channels;
+    let pixels = c * side * side;
+
+    // Class prototypes: sum of 4 random 2-D sinusoids per channel.
+    let mut prototypes: Vec<Vec<f32>> = Vec::with_capacity(config.classes);
+    for _ in 0..config.classes {
+        let mut proto = vec![0.0f32; pixels];
+        for ch in 0..c {
+            for _ in 0..4 {
+                let fx = rng.uniform(0.5, 2.5);
+                let fy = rng.uniform(0.5, 2.5);
+                let phase = rng.uniform(0.0, std::f32::consts::TAU);
+                let amp = rng.uniform(0.3, 0.7);
+                for y in 0..side {
+                    for x in 0..side {
+                        let v = amp
+                            * (fx * x as f32 / side as f32 * std::f32::consts::TAU
+                                + fy * y as f32 / side as f32 * std::f32::consts::TAU
+                                + phase)
+                                .sin();
+                        proto[ch * side * side + y * side + x] += v;
+                    }
+                }
+            }
+        }
+        prototypes.push(proto);
+    }
+
+    let make = |n: usize, rng: &mut TensorRng| -> Result<Dataset> {
+        let mut data = Vec::with_capacity(n * pixels);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % config.classes; // balanced classes
+            let proto = &prototypes[class];
+            for &p in proto {
+                data.push(p + rng.normal(0.0, config.noise));
+            }
+            let label = if config.label_noise > 0.0 && rng.uniform(0.0, 1.0) < config.label_noise
+            {
+                rng.below(config.classes)
+            } else {
+                class
+            };
+            labels.push(label);
+        }
+        Dataset::new(
+            Tensor::from_vec(data, &[n, c, side, side])?,
+            labels,
+            config.classes,
+        )
+    };
+
+    let train = make(config.train, &mut rng)?;
+    let test = make(config.test, &mut rng)?;
+    Ok((train, test))
+}
+
+/// Low-dimensional Gaussian blobs: `classes` isotropic clusters in
+/// `R^features`, for fast convergence tests (e.g. logistic regression with
+/// a known-separable optimum).
+///
+/// Returns a single dataset of `n` examples with features `[n, features]`.
+///
+/// # Errors
+///
+/// Propagates tensor construction errors.
+pub fn gaussian_blobs(
+    n: usize,
+    features: usize,
+    classes: usize,
+    spread: f32,
+    seed: u64,
+) -> Result<Dataset> {
+    let mut rng = TensorRng::new(seed);
+    // Class centers on a scaled simplex-ish layout.
+    let centers: Vec<Vec<f32>> = (0..classes)
+        .map(|_| (0..features).map(|_| rng.uniform(-2.0, 2.0)).collect())
+        .collect();
+    let mut data = Vec::with_capacity(n * features);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        for f in 0..features {
+            data.push(centers[class][f] + rng.normal(0.0, spread));
+        }
+        labels.push(class);
+    }
+    Dataset::new(Tensor::from_vec(data, &[n, features])?, labels, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_sizes() {
+        let cfg = SyntheticConfig {
+            train: 40,
+            test: 20,
+            side: 8,
+            ..Default::default()
+        };
+        let (train, test) = synthetic_cifar(&cfg).unwrap();
+        assert_eq!(train.len(), 40);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.example_dims(), &[3, 8, 8]);
+        assert_eq!(train.num_classes(), 10);
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let cfg = SyntheticConfig {
+            train: 100,
+            test: 0,
+            ..Default::default()
+        };
+        let (train, _) = synthetic_cifar(&cfg).unwrap();
+        let hist = train.class_histogram();
+        assert_eq!(hist, vec![10; 10]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SyntheticConfig {
+            train: 16,
+            test: 4,
+            ..Default::default()
+        };
+        let (a, _) = synthetic_cifar(&cfg).unwrap();
+        let (b, _) = synthetic_cifar(&cfg).unwrap();
+        assert_eq!(a.features(), b.features());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = SyntheticConfig {
+            train: 16,
+            test: 0,
+            ..Default::default()
+        };
+        let (a, _) = synthetic_cifar(&cfg).unwrap();
+        cfg.seed = 1;
+        let (b, _) = synthetic_cifar(&cfg).unwrap();
+        assert_ne!(a.features(), b.features());
+    }
+
+    #[test]
+    fn same_class_examples_are_correlated() {
+        // Two examples of the same class should be closer (on average) than
+        // two examples of different classes: the signal the CNN learns.
+        let cfg = SyntheticConfig {
+            train: 60,
+            test: 0,
+            noise: 0.2,
+            ..Default::default()
+        };
+        let (train, _) = synthetic_cifar(&cfg).unwrap();
+        let (x0, _) = train.batch(&[0]).unwrap(); // class 0
+        let (x10, _) = train.batch(&[10]).unwrap(); // class 0 again
+        let (x1, _) = train.batch(&[1]).unwrap(); // class 1
+        let same = x0.distance(&x10).unwrap();
+        let diff = x0.distance(&x1).unwrap();
+        assert!(
+            same < diff,
+            "same-class distance {same} should be below cross-class {diff}"
+        );
+    }
+
+    #[test]
+    fn label_noise_flips_some_labels() {
+        let cfg = SyntheticConfig {
+            train: 500,
+            test: 0,
+            label_noise: 0.5,
+            ..Default::default()
+        };
+        let (train, _) = synthetic_cifar(&cfg).unwrap();
+        let flipped = train
+            .labels()
+            .iter()
+            .enumerate()
+            .filter(|(i, &l)| l != i % 10)
+            .count();
+        // ~45% expected (half flipped, of which 1/10 land on the original)
+        assert!(flipped > 100, "only {flipped} labels flipped");
+    }
+
+    #[test]
+    fn blobs_shapes() {
+        let d = gaussian_blobs(30, 5, 3, 0.1, 0).unwrap();
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.example_dims(), &[5]);
+        assert_eq!(d.class_histogram(), vec![10, 10, 10]);
+    }
+
+    #[test]
+    fn blobs_are_separable_at_low_spread() {
+        let d = gaussian_blobs(60, 4, 2, 0.05, 1).unwrap();
+        // nearest-center classification should be near perfect
+        let (x, y) = d.batch(&(0..60).collect::<Vec<_>>()).unwrap();
+        // compute class means
+        let dims = 4;
+        let mut means = vec![vec![0.0f32; dims]; 2];
+        let mut counts = vec![0usize; 2];
+        for i in 0..60 {
+            for f in 0..dims {
+                means[y[i]][f] += x.as_slice()[i * dims + f];
+            }
+            counts[y[i]] += 1;
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c as f32;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..60 {
+            let row = &x.as_slice()[i * dims..(i + 1) * dims];
+            let dist = |m: &[f32]| -> f32 {
+                row.iter().zip(m).map(|(a, b)| (a - b).powi(2)).sum()
+            };
+            let pred = if dist(&means[0]) < dist(&means[1]) { 0 } else { 1 };
+            if pred == y[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 58, "only {correct}/60 nearest-center correct");
+    }
+}

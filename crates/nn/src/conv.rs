@@ -1,0 +1,420 @@
+//! 2-D convolution via im2col + matrix multiplication.
+
+use tensor::{Tensor, TensorRng};
+
+use crate::layer::Layer;
+use crate::{NnError, Result};
+
+/// Spatial padding scheme, following TensorFlow's conventions (the paper's
+/// CNN uses `SAME` everywhere; that is what makes the FC1 input 8·8·64 =
+/// 4096 and the total parameter count ≈ 1.75M).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Padding {
+    /// No padding: output `(h - k)/s + 1` (floor).
+    Valid,
+    /// Zero padding so that output is `ceil(h / s)`; padding may be
+    /// asymmetric (extra row/column at the bottom/right), exactly like
+    /// TensorFlow.
+    Same,
+}
+
+impl Padding {
+    /// Returns `(out, pad_begin)` along one spatial axis of size `h` for
+    /// kernel `k` and stride `s`.
+    pub(crate) fn geometry(self, h: usize, k: usize, s: usize) -> (usize, usize) {
+        match self {
+            Padding::Valid => {
+                assert!(h >= k, "valid padding requires input >= kernel");
+                ((h - k) / s + 1, 0)
+            }
+            Padding::Same => {
+                let out = h.div_ceil(s);
+                let pad_total = ((out - 1) * s + k).saturating_sub(h);
+                (out, pad_total / 2)
+            }
+        }
+    }
+}
+
+/// 2-D convolution over `[batch, channels, height, width]` activations.
+///
+/// Weights `[out_channels, in_channels · k · k]`, bias `[out_channels]`.
+/// The forward pass lowers each sample to a column matrix (im2col) and
+/// multiplies by the weight matrix; the backward pass recomputes the columns
+/// from the cached input (trading FLOPs for memory — caching columns for a
+/// batch of CIFAR-sized activations would cost hundreds of MB).
+#[derive(Debug)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: Padding,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates the layer with Glorot-uniform weights and zero bias.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: Padding,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = rng.glorot_uniform(&[out_channels, fan_in], fan_in, fan_out);
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight,
+            bias: Tensor::zeros(&[out_channels]),
+            grad_weight: Tensor::zeros(&[out_channels, fan_in]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let (oh, _) = self.padding.geometry(h, self.kernel, self.stride);
+        let (ow, _) = self.padding.geometry(w, self.kernel, self.stride);
+        (oh, ow)
+    }
+
+    /// Lowers one sample `[c, h, w]` (slice of the batch buffer) into a
+    /// column matrix `[c·k·k, oh·ow]`.
+    #[allow(clippy::too_many_arguments)]
+    fn im2col(
+        &self,
+        sample: &[f32],
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        pad_h: usize,
+        pad_w: usize,
+        cols: &mut [f32],
+    ) {
+        let k = self.kernel;
+        let s = self.stride;
+        let c_in = self.in_channels;
+        let n_cols = oh * ow;
+        for c in 0..c_in {
+            let plane = &sample[c * h * w..(c + 1) * h * w];
+            for kh in 0..k {
+                for kw in 0..k {
+                    let row = (c * k + kh) * k + kw;
+                    let dst = &mut cols[row * n_cols..(row + 1) * n_cols];
+                    for oy in 0..oh {
+                        let iy = (oy * s + kh) as isize - pad_h as isize;
+                        let base = oy * ow;
+                        if iy < 0 || iy >= h as isize {
+                            dst[base..base + ow].fill(0.0);
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = (ox * s + kw) as isize - pad_w as isize;
+                            dst[base + ox] = if ix < 0 || ix >= w as isize {
+                                0.0
+                            } else {
+                                plane[iy * w + ix as usize]
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scatters column gradients back onto an input-gradient sample
+    /// (the adjoint of [`Conv2d::im2col`]).
+    #[allow(clippy::too_many_arguments)]
+    fn col2im(
+        &self,
+        dcols: &[f32],
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        pad_h: usize,
+        pad_w: usize,
+        dsample: &mut [f32],
+    ) {
+        let k = self.kernel;
+        let s = self.stride;
+        let c_in = self.in_channels;
+        let n_cols = oh * ow;
+        for c in 0..c_in {
+            let plane = &mut dsample[c * h * w..(c + 1) * h * w];
+            for kh in 0..k {
+                for kw in 0..k {
+                    let row = (c * k + kh) * k + kw;
+                    let src = &dcols[row * n_cols..(row + 1) * n_cols];
+                    for oy in 0..oh {
+                        let iy = (oy * s + kh) as isize - pad_h as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = (ox * s + kw) as isize - pad_w as isize;
+                            if ix >= 0 && ix < w as isize {
+                                plane[iy * w + ix as usize] += src[oy * ow + ox];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize)> {
+        if input.rank() != 4 || input.dims()[1] != self.in_channels {
+            return Err(NnError::BadInputShape {
+                layer: self.name(),
+                expected: format!("[batch, {}, h, w]", self.in_channels),
+                got: input.dims().to_vec(),
+            });
+        }
+        if self.padding == Padding::Valid
+            && (input.dims()[2] < self.kernel || input.dims()[3] < self.kernel)
+        {
+            return Err(NnError::BadInputShape {
+                layer: self.name(),
+                expected: format!("spatial dims >= kernel {}", self.kernel),
+                got: input.dims().to_vec(),
+            });
+        }
+        Ok((input.dims()[0], input.dims()[2], input.dims()[3]))
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> String {
+        format!(
+            "conv2d({}->{},k={},s={})",
+            self.in_channels, self.out_channels, self.kernel, self.stride
+        )
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let (batch, h, w) = self.check_input(input)?;
+        let (oh, pad_h) = self.padding.geometry(h, self.kernel, self.stride);
+        let (ow, pad_w) = self.padding.geometry(w, self.kernel, self.stride);
+        let ckk = self.in_channels * self.kernel * self.kernel;
+        let n_cols = oh * ow;
+        let mut out = Tensor::zeros(&[batch, self.out_channels, oh, ow]);
+        let mut cols = vec![0.0f32; ckk * n_cols];
+        for b in 0..batch {
+            let sample = &input.as_slice()[b * self.in_channels * h * w..];
+            self.im2col(sample, h, w, oh, ow, pad_h, pad_w, &mut cols);
+            let cols_t = Tensor::from_vec(cols.clone(), &[ckk, n_cols])?;
+            let out_mat = self.weight.matmul(&cols_t)?; // [oc, oh*ow]
+            let dst =
+                &mut out.as_mut_slice()[b * self.out_channels * n_cols..(b + 1) * self.out_channels * n_cols];
+            for oc in 0..self.out_channels {
+                let bias = self.bias.as_slice()[oc];
+                for (d, &v) in dst[oc * n_cols..(oc + 1) * n_cols]
+                    .iter_mut()
+                    .zip(&out_mat.as_slice()[oc * n_cols..(oc + 1) * n_cols])
+                {
+                    *d = v + bias;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .clone()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
+        let (batch, h, w) = self.check_input(&input)?;
+        let (oh, pad_h) = self.padding.geometry(h, self.kernel, self.stride);
+        let (ow, pad_w) = self.padding.geometry(w, self.kernel, self.stride);
+        if grad_out.dims() != [batch, self.out_channels, oh, ow] {
+            return Err(NnError::BadInputShape {
+                layer: self.name(),
+                expected: format!("[{batch}, {}, {oh}, {ow}] gradient", self.out_channels),
+                got: grad_out.dims().to_vec(),
+            });
+        }
+        let ckk = self.in_channels * self.kernel * self.kernel;
+        let n_cols = oh * ow;
+        let mut dx = Tensor::zeros(input.dims());
+        let mut cols = vec![0.0f32; ckk * n_cols];
+        let weight_t = self.weight.transpose()?; // [ckk, oc]
+        for b in 0..batch {
+            let sample = &input.as_slice()[b * self.in_channels * h * w..];
+            self.im2col(sample, h, w, oh, ow, pad_h, pad_w, &mut cols);
+            let cols_t = Tensor::from_vec(cols.clone(), &[ckk, n_cols])?;
+            let go_mat = Tensor::from_vec(
+                grad_out.as_slice()[b * self.out_channels * n_cols..(b + 1) * self.out_channels * n_cols]
+                    .to_vec(),
+                &[self.out_channels, n_cols],
+            )?;
+            // dW += dy · colsᵀ
+            let dw = go_mat.matmul(&cols_t.transpose()?)?;
+            self.grad_weight.add_assign(&dw)?;
+            // db += per-channel sums of dy
+            for oc in 0..self.out_channels {
+                let s: f32 = go_mat.as_slice()[oc * n_cols..(oc + 1) * n_cols].iter().sum();
+                self.grad_bias.as_mut_slice()[oc] += s;
+            }
+            // dcols = Wᵀ · dy, scattered back to dx
+            let dcols = weight_t.matmul(&go_mat)?;
+            let dsample =
+                &mut dx.as_mut_slice()[b * self.in_channels * h * w..(b + 1) * self.in_channels * h * w];
+            self.col2im(dcols.as_slice(), h, w, oh, ow, pad_h, pad_w, dsample);
+        }
+        Ok(dx)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_weight, &self.grad_bias]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight = Tensor::zeros(self.grad_weight.dims());
+        self.grad_bias = Tensor::zeros(self.grad_bias.dims());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_geometry_matches_tensorflow() {
+        // SAME, k=5, s=1 on 32: out 32, pad 2 (symmetric).
+        assert_eq!(Padding::Same.geometry(32, 5, 1), (32, 2));
+        // SAME, k=3, s=2 on 32: out 16, pad_total 1 → pad_begin 0.
+        assert_eq!(Padding::Same.geometry(32, 3, 2), (16, 0));
+        // VALID, k=3, s=1 on 5: out 3.
+        assert_eq!(Padding::Valid.geometry(5, 3, 1), (3, 0));
+        // VALID, k=2, s=2 on 6: out 3.
+        assert_eq!(Padding::Valid.geometry(6, 2, 2), (3, 0));
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1: convolution is the identity map.
+        let mut rng = TensorRng::new(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, Padding::Same, &mut rng);
+        conv.params_mut()[0].as_mut_slice()[0] = 1.0;
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn known_3x3_valid_convolution() {
+        // Input 1x1x3x3 = [[1..9]], kernel 2x2 of ones, VALID, stride 1:
+        // out[0,0] = 1+2+4+5 = 12, out[0,1] = 2+3+5+6 = 16,
+        // out[1,0] = 4+5+7+8 = 24, out[1,1] = 5+6+8+9 = 28.
+        let mut rng = TensorRng::new(0);
+        let mut conv = Conv2d::new(1, 1, 2, 1, Padding::Valid, &mut rng);
+        for wv in conv.params_mut()[0].as_mut_slice() {
+            *wv = 1.0;
+        }
+        let x =
+            Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn same_padding_zero_pads_borders() {
+        // 3x3 ones kernel over a 2x2 input of ones with SAME padding:
+        // each output = count of in-bounds neighbours.
+        let mut rng = TensorRng::new(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, Padding::Same, &mut rng);
+        for wv in conv.params_mut()[0].as_mut_slice() {
+            *wv = 1.0;
+        }
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let mut rng = TensorRng::new(0);
+        let mut conv = Conv2d::new(1, 2, 1, 1, Padding::Same, &mut rng);
+        conv.params_mut()[0].as_mut_slice().copy_from_slice(&[0.0, 0.0]);
+        conv.params_mut()[1].as_mut_slice().copy_from_slice(&[1.5, -2.5]);
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(&y.as_slice()[..4], &[1.5; 4]);
+        assert_eq!(&y.as_slice()[4..], &[-2.5; 4]);
+    }
+
+    #[test]
+    fn multi_channel_sums_over_input_channels() {
+        let mut rng = TensorRng::new(0);
+        let mut conv = Conv2d::new(2, 1, 1, 1, Padding::Same, &mut rng);
+        conv.params_mut()[0].as_mut_slice().copy_from_slice(&[2.0, 3.0]);
+        let x = Tensor::from_vec(vec![1.0, 1.0, 10.0, 10.0], &[1, 2, 1, 2]).unwrap();
+        let y = conv.forward(&x, true).unwrap();
+        // 2*1 + 3*10 = 32 at each position
+        assert_eq!(y.as_slice(), &[32.0, 32.0]);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut rng = TensorRng::new(0);
+        let mut conv = Conv2d::new(3, 1, 3, 1, Padding::Same, &mut rng);
+        assert!(conv.forward(&Tensor::zeros(&[1, 2, 4, 4]), true).is_err());
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut rng = TensorRng::new(0);
+        let conv = Conv2d::new(3, 64, 5, 1, Padding::Same, &mut rng);
+        assert_eq!(conv.param_count(), 5 * 5 * 3 * 64 + 64);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let mut rng = TensorRng::new(0);
+        let mut conv = Conv2d::new(2, 3, 3, 1, Padding::Same, &mut rng);
+        let x = rng.uniform_tensor(&[2, 2, 4, 4], -1.0, 1.0);
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 3, 4, 4]);
+        let dx = conv.backward(&Tensor::ones(&[2, 3, 4, 4])).unwrap();
+        assert_eq!(dx.dims(), &[2, 2, 4, 4]);
+        assert_eq!(conv.grads()[0].dims(), &[3, 18]);
+        assert_eq!(conv.grads()[1].dims(), &[3]);
+    }
+
+    #[test]
+    fn strided_same_pool_geometry_asymmetric() {
+        // k=3, s=2 on h=32 pads only at the bottom (pad_begin = 0)
+        let (out, pad) = Padding::Same.geometry(32, 3, 2);
+        assert_eq!((out, pad), (16, 0));
+        // k=3, s=2 on h=16 → out 8, pad_total = 7*2+3-16 = 1, begin 0
+        assert_eq!(Padding::Same.geometry(16, 3, 2), (8, 0));
+    }
+}

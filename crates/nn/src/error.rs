@@ -1,0 +1,92 @@
+//! Error type for neural-network operations.
+
+use std::fmt;
+
+use tensor::TensorError;
+
+/// Errors produced by layers, losses and optimizers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// A layer received an input whose shape it cannot process.
+    BadInputShape {
+        /// The layer that rejected the input.
+        layer: String,
+        /// Human-readable description of the expectation.
+        expected: String,
+        /// The shape actually received.
+        got: Vec<usize>,
+    },
+    /// `backward` was called before `forward` (no cached activation).
+    BackwardBeforeForward {
+        /// The layer that was mis-sequenced.
+        layer: String,
+    },
+    /// A flat parameter vector has the wrong length for the model.
+    ParamLengthMismatch {
+        /// Length the model requires.
+        expected: usize,
+        /// Length provided.
+        actual: usize,
+    },
+    /// Labels are inconsistent with logits (count or class range).
+    BadLabels(String),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::BadInputShape {
+                layer,
+                expected,
+                got,
+            } => write!(f, "{layer}: expected input {expected}, got {got:?}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "{layer}: backward called before forward")
+            }
+            NnError::ParamLengthMismatch { expected, actual } => write!(
+                f,
+                "parameter vector length {actual} does not match model size {expected}"
+            ),
+            NnError::BadLabels(msg) => write!(f, "bad labels: {msg}"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_param_length() {
+        let e = NnError::ParamLengthMismatch {
+            expected: 10,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn from_tensor() {
+        let e: NnError = TensorError::Empty.into();
+        assert!(matches!(e, NnError::Tensor(_)));
+    }
+}

@@ -1,0 +1,89 @@
+//! Flatten layer: `[batch, ...] → [batch, features]`.
+
+use tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::{NnError, Result};
+
+/// Reshapes `[batch, d1, d2, ...]` to `[batch, d1*d2*...]`, the bridge
+/// between the convolutional stack and the fully-connected head.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Flatten { cached_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> String {
+        "flatten".to_owned()
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        if input.rank() < 2 {
+            return Err(NnError::BadInputShape {
+                layer: self.name(),
+                expected: "[batch, ...] with rank >= 2".to_owned(),
+                got: input.dims().to_vec(),
+            });
+        }
+        let batch = input.dims()[0];
+        let features: usize = input.dims()[1..].iter().product();
+        self.cached_dims = Some(input.dims().to_vec());
+        Ok(input.reshape(&[batch, features])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
+        Ok(grad_out.reshape(dims)?)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut fl = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = fl.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        let dx = fl.backward(&Tensor::ones(&[2, 48])).unwrap();
+        assert_eq!(dx.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_rank_one() {
+        let mut fl = Flatten::new();
+        assert!(fl.forward(&Tensor::zeros(&[5]), true).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_fails() {
+        let mut fl = Flatten::new();
+        assert!(fl.backward(&Tensor::zeros(&[2, 4])).is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Softmax, cross-entropy loss and accuracy.
+
+use tensor::Tensor;
+
+use crate::{NnError, Result};
+
+/// Row-wise softmax of a `[batch, classes]` logits tensor, computed with the
+/// max-subtraction trick for numerical stability.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInputShape`] unless the input is rank 2.
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    if logits.rank() != 2 {
+        return Err(NnError::BadInputShape {
+            layer: "softmax".to_owned(),
+            expected: "[batch, classes]".to_owned(),
+            got: logits.dims().to_vec(),
+        });
+    }
+    let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = logits.clone();
+    let data = out.as_mut_slice();
+    for b in 0..batch {
+        let row = &mut data[b * classes..(b + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(out)
+}
+
+/// Mean cross-entropy between logits `[batch, classes]` and integer labels,
+/// returning `(loss, grad_logits)` in one pass.
+///
+/// The gradient is `(softmax(logits) − onehot(labels)) / batch`, ready to be
+/// fed to [`crate::Sequential::backward`].
+///
+/// # Errors
+///
+/// Returns [`NnError::BadLabels`] when label count or range is inconsistent
+/// with the logits, and [`NnError::BadInputShape`] for non-rank-2 logits.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    if logits.rank() != 2 {
+        return Err(NnError::BadInputShape {
+            layer: "softmax_cross_entropy".to_owned(),
+            expected: "[batch, classes]".to_owned(),
+            got: logits.dims().to_vec(),
+        });
+    }
+    let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != batch {
+        return Err(NnError::BadLabels(format!(
+            "{} labels for batch of {batch}",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+        return Err(NnError::BadLabels(format!(
+            "label {bad} out of range for {classes} classes"
+        )));
+    }
+    let mut grad = softmax(logits)?;
+    let probs = grad.as_slice();
+    let mut loss = 0.0f64;
+    for (b, &label) in labels.iter().enumerate() {
+        // clamp avoids -inf on a fully-confident wrong prediction
+        let p = probs[b * classes + label].max(1e-12);
+        loss -= (p as f64).ln();
+    }
+    let loss = (loss / batch as f64) as f32;
+    let scale = 1.0 / batch as f32;
+    let g = grad.as_mut_slice();
+    for (b, &label) in labels.iter().enumerate() {
+        let row = &mut g[b * classes..(b + 1) * classes];
+        row[label] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= scale;
+        }
+    }
+    Ok((loss, grad))
+}
+
+/// Top-1 accuracy: the fraction of rows whose argmax equals the label —
+/// the paper's §5.2 "top-1 cross-accuracy" metric.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadLabels`] when label count mismatches the batch.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    if logits.rank() != 2 {
+        return Err(NnError::BadInputShape {
+            layer: "accuracy".to_owned(),
+            expected: "[batch, classes]".to_owned(),
+            got: logits.dims().to_vec(),
+        });
+    }
+    let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != batch {
+        return Err(NnError::BadLabels(format!(
+            "{} labels for batch of {batch}",
+            labels.len()
+        )));
+    }
+    if batch == 0 {
+        return Ok(0.0);
+    }
+    let data = logits.as_slice();
+    let mut correct = 0usize;
+    for (b, &label) in labels.iter().enumerate() {
+        let row = &data[b * classes..(b + 1) * classes];
+        let mut best = 0usize;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / batch as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for b in 0..2 {
+            let s: f32 = p.as_slice()[b * 3..(b + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1001.0, 1002.0], &[1, 2]).unwrap();
+        let pa = softmax(&a).unwrap();
+        let pb = softmax(&b).unwrap();
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_c_loss() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let labels = vec![0usize, 3, 7, 9];
+        let (loss, _) = softmax_cross_entropy(&logits, &labels).unwrap();
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        // Σ_c (p_c - onehot_c) = 1 - 1 = 0 for each row.
+        let logits = Tensor::from_vec(vec![0.3, -1.0, 2.0, 0.1, 0.1, 0.0], &[2, 3]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]).unwrap();
+        for b in 0..2 {
+            let s: f32 = grad.as_slice()[b * 3..(b + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 0.8, 0.1], &[2, 2]).unwrap();
+        let labels = [1usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, &labels).unwrap();
+            let (lm, _) = softmax_cross_entropy(&minus, &labels).unwrap();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad.as_slice()[i] - numeric).abs() < 1e-3,
+                "coordinate {i}: analytic {} vs numeric {numeric}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec(
+            vec![
+                0.9, 0.1, 0.0, // -> 0
+                0.0, 0.2, 0.8, // -> 2
+                0.5, 0.4, 0.1, // -> 0
+            ],
+            &[3, 3],
+        )
+        .unwrap();
+        let acc = accuracy(&logits, &[0, 2, 1]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_rejects_mismatched_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(accuracy(&logits, &[0]).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Max pooling.
+
+use tensor::Tensor;
+
+use crate::conv::Padding;
+use crate::layer::Layer;
+use crate::{NnError, Result};
+
+/// 2-D max pooling over `[batch, channels, height, width]` activations.
+///
+/// The paper's CNN uses 3×3 windows with stride 2 and `SAME` padding
+/// (Table 1). Padded cells never win the max (they are treated as −∞ /
+/// skipped), matching TensorFlow's behaviour.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    padding: Padding,
+    /// For each output element, the flat input index that won the max.
+    argmax: Option<Vec<usize>>,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates the layer.
+    pub fn new(kernel: usize, stride: usize, padding: Padding) -> Self {
+        MaxPool2d {
+            kernel,
+            stride,
+            padding,
+            argmax: None,
+            input_dims: None,
+        }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let (oh, _) = self.padding.geometry(h, self.kernel, self.stride);
+        let (ow, _) = self.padding.geometry(w, self.kernel, self.stride);
+        (oh, ow)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> String {
+        format!("maxpool2d(k={},s={})", self.kernel, self.stride)
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(NnError::BadInputShape {
+                layer: self.name(),
+                expected: "[batch, channels, h, w]".to_owned(),
+                got: input.dims().to_vec(),
+            });
+        }
+        let (batch, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (oh, pad_h) = self.padding.geometry(h, self.kernel, self.stride);
+        let (ow, pad_w) = self.padding.geometry(w, self.kernel, self.stride);
+        let mut out = Tensor::zeros(&[batch, c, oh, ow]);
+        let mut argmax = vec![0usize; batch * c * oh * ow];
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        for b in 0..batch {
+            for ch in 0..c {
+                let plane_off = (b * c + ch) * h * w;
+                let out_off = (b * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.kernel {
+                            let iy = (oy * self.stride + ky) as isize - pad_h as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.kernel {
+                                let ix = (ox * self.stride + kx) as isize - pad_w as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let idx = plane_off + iy as usize * w + ix as usize;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        dst[out_off + oy * ow + ox] = best;
+                        argmax[out_off + oy * ow + ox] = best_idx;
+                    }
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.input_dims = Some(input.dims().to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let argmax = self
+            .argmax
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
+        let input_dims = self.input_dims.as_ref().expect("set with argmax");
+        if grad_out.len() != argmax.len() {
+            return Err(NnError::BadInputShape {
+                layer: self.name(),
+                expected: format!("{} elements", argmax.len()),
+                got: grad_out.dims().to_vec(),
+            });
+        }
+        let mut dx = Tensor::zeros(input_dims);
+        let d = dx.as_mut_slice();
+        for (&idx, &g) in argmax.iter().zip(grad_out.as_slice()) {
+            d[idx] += g;
+        }
+        Ok(dx)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_maxima_valid() {
+        // 2x2 pooling stride 2 on a 4x4 plane.
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let mut pool = MaxPool2d::new(2, 2, Padding::Valid);
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn paper_geometry_32_to_16() {
+        let pool = MaxPool2d::new(3, 2, Padding::Same);
+        assert_eq!(pool.output_hw(32, 32), (16, 16));
+        assert_eq!(pool.output_hw(16, 16), (8, 8));
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 0.0], &[1, 1, 2, 2]).unwrap();
+        let mut pool = MaxPool2d::new(2, 2, Padding::Valid);
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[3.0]);
+        let dx = pool.backward(&Tensor::from_vec(vec![7.0], &[1, 1, 1, 1]).unwrap()).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn padded_cells_never_win() {
+        // All-negative input with SAME padding: zeros in the pad would win a
+        // naive max; ensure the real (negative) values are selected.
+        let x = Tensor::from_vec(vec![-5.0, -3.0, -4.0, -6.0], &[1, 1, 2, 2]).unwrap();
+        let mut pool = MaxPool2d::new(3, 2, Padding::Same);
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.as_slice(), &[-3.0]);
+    }
+
+    #[test]
+    fn rejects_non_4d() {
+        let mut pool = MaxPool2d::new(2, 2, Padding::Valid);
+        assert!(pool.forward(&Tensor::zeros(&[4, 4]), true).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_fails() {
+        let mut pool = MaxPool2d::new(2, 2, Padding::Valid);
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn per_channel_independence() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, // channel 0
+                40.0, 30.0, 20.0, 10.0, // channel 1
+            ],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
+        let mut pool = MaxPool2d::new(2, 2, Padding::Valid);
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[4.0, 40.0]);
+    }
+}

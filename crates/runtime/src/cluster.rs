@@ -1,0 +1,513 @@
+//! The threaded cluster: one OS thread per node, frames over channels.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use aggregation::{CoordinateWiseMedian, Gar, GarKind};
+use byzantine::{Attack, AttackKind, AttackView};
+use data::{Batcher, Dataset};
+use guanyu::config::ClusterConfig;
+use guanyu::GuanYuError;
+use nn::{softmax_cross_entropy, LrSchedule, Sequential};
+use tensor::{Tensor, TensorRng};
+
+use crate::wire::{decode, encode, WireMsg};
+
+/// Configuration of a threaded run.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Cluster sizing and quorums.
+    pub cluster: ClusterConfig,
+    /// Updates each server performs before reporting.
+    pub max_steps: u64,
+    /// Learning-rate schedule.
+    pub lr: LrSchedule,
+    /// Server-side gradient GAR.
+    pub server_gar: GarKind,
+    /// Per-worker mini-batch size.
+    pub batch_size: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Actually-Byzantine workers (last worker ids).
+    pub actual_byz_workers: usize,
+    /// Their attack (forged from observed models).
+    pub worker_attack: Option<AttackKind>,
+    /// Safety net: abort the run after this much wall time.
+    pub wall_timeout: Duration,
+}
+
+impl RuntimeConfig {
+    /// Small defaults for tests and the quickstart example.
+    pub fn default_for_tests() -> Self {
+        RuntimeConfig {
+            cluster: ClusterConfig::new(6, 1, 9, 2).expect("valid"),
+            max_steps: 3,
+            lr: LrSchedule::constant(0.05),
+            server_gar: GarKind::MultiKrum,
+            batch_size: 8,
+            seed: 0,
+            actual_byz_workers: 0,
+            worker_attack: None,
+            wall_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What a finished run reports.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Final parameter vector of each honest server, in server order.
+    pub final_params: Vec<Tensor>,
+    /// Total model updates across honest servers.
+    pub updates: u64,
+    /// Wall-clock duration of the run.
+    pub wall_secs: f64,
+}
+
+struct Frame {
+    /// Sender id — carried for parity with a real transport (gRPC peer
+    /// identity); the current roles authenticate by message content, not
+    /// sender, exactly like the paper's implementation.
+    #[allow(dead_code)]
+    from: usize,
+    payload: Bytes,
+}
+
+struct Mailboxes {
+    senders: Vec<Sender<Frame>>,
+}
+
+impl Mailboxes {
+    fn send(&self, from: usize, to: usize, msg: &WireMsg) {
+        // A disconnected peer (already shut down) is not an error.
+        let _ = self.senders[to].send(Frame {
+            from,
+            payload: encode(msg),
+        });
+    }
+}
+
+const POLL: Duration = Duration::from_millis(20);
+
+#[allow(clippy::too_many_arguments)]
+fn server_thread(
+    me: usize,
+    cfg: RuntimeConfig,
+    theta0: Tensor,
+    rx: Receiver<Frame>,
+    mail: Arc<Mailboxes>,
+    done: Arc<AtomicBool>,
+    gar: Box<dyn Gar>,
+) -> Tensor {
+    use std::collections::HashMap;
+    let median = CoordinateWiseMedian::new();
+    let mut params = theta0;
+    let mut step = 0u64;
+    let mut grads: HashMap<u64, Vec<Tensor>> = HashMap::new();
+    let mut exchanges: HashMap<u64, Vec<Tensor>> = HashMap::new();
+    let mut exchanging = false;
+    let servers = cfg.cluster.servers;
+    let workers = cfg.cluster.workers;
+    let broadcast_model = |params: &Tensor, step: u64| {
+        let msg = WireMsg::Model {
+            step,
+            params: params.clone(),
+        };
+        for w in servers..servers + workers {
+            mail.send(me, w, &msg);
+        }
+    };
+    broadcast_model(&params, 0);
+    loop {
+        if done.load(Ordering::Relaxed) {
+            break;
+        }
+        let frame = match rx.recv_timeout(POLL) {
+            Ok(f) => f,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let msg = match decode(frame.payload) {
+            Ok(m) => m,
+            Err(_) => continue, // malformed frame: necessarily Byzantine, drop
+        };
+        match msg {
+            WireMsg::Gradient { step: s, grad }
+                if s >= step && grad.len() == params.len() && grad.is_finite() =>
+            {
+                grads.entry(s).or_default().push(grad);
+            }
+            WireMsg::Exchange { step: s, params: p }
+                if s >= step && p.len() == params.len() && p.is_finite() =>
+            {
+                exchanges.entry(s).or_default().push(p);
+            }
+            _ => {}
+        }
+
+        // Fold gradients once the quorum for the current step is in.
+        if !exchanging {
+            let q = cfg.cluster.worker_quorum;
+            if grads.get(&step).map_or(false, |v| v.len() >= q) {
+                let received = grads.remove(&step).expect("checked");
+                if let Ok(agg) = gar.aggregate(&received[..q]) {
+                    let lr = cfg.lr.at(step);
+                    params.axpy(-lr, &agg).expect("fixed dims");
+                    if servers > 1 {
+                        exchanging = true;
+                        exchanges.entry(step).or_default().push(params.clone());
+                        let msg = WireMsg::Exchange {
+                            step,
+                            params: params.clone(),
+                        };
+                        for s in 0..servers {
+                            if s != me {
+                                mail.send(me, s, &msg);
+                            }
+                        }
+                    } else {
+                        step += 1;
+                        if step >= cfg.max_steps {
+                            break;
+                        }
+                        broadcast_model(&params, step);
+                    }
+                }
+            }
+        }
+        if exchanging {
+            let q = cfg.cluster.server_quorum;
+            if exchanges.get(&step).map_or(false, |v| v.len() >= q) {
+                let received = exchanges.remove(&step).expect("checked");
+                if let Ok(folded) = median.aggregate(&received[..q]) {
+                    params = folded;
+                }
+                exchanging = false;
+                step += 1;
+                grads.retain(|&s, _| s >= step);
+                exchanges.retain(|&s, _| s >= step);
+                if step >= cfg.max_steps {
+                    break;
+                }
+                broadcast_model(&params, step);
+            }
+        }
+    }
+    params
+}
+
+fn worker_thread(
+    me: usize,
+    cfg: RuntimeConfig,
+    mut model: Sequential,
+    mut batcher: Batcher,
+    train: Arc<Dataset>,
+    rx: Receiver<Frame>,
+    mail: Arc<Mailboxes>,
+    done: Arc<AtomicBool>,
+) {
+    use std::collections::HashMap;
+    let median = CoordinateWiseMedian::new();
+    let mut step = 0u64;
+    let mut models: HashMap<u64, Vec<Tensor>> = HashMap::new();
+    let q = cfg.cluster.server_quorum;
+    loop {
+        if done.load(Ordering::Relaxed) {
+            break;
+        }
+        let frame = match rx.recv_timeout(POLL) {
+            Ok(f) => f,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if let Ok(WireMsg::Model { step: s, params }) = decode(frame.payload) {
+            if s >= step && params.is_finite() {
+                models.entry(s).or_default().push(params);
+            }
+        }
+        while models.get(&step).map_or(false, |v| v.len() >= q) {
+            let received = models.remove(&step).expect("checked");
+            let folded = match median.aggregate(&received[..q]) {
+                Ok(f) => f,
+                Err(_) => break,
+            };
+            if model.set_param_vector(&folded).is_err() {
+                break;
+            }
+            model.zero_grads();
+            let grad = batcher
+                .next_batch(&train)
+                .ok()
+                .and_then(|(x, labels)| {
+                    let logits = model.forward(&x, true).ok()?;
+                    let (_, dl) = softmax_cross_entropy(&logits, &labels).ok()?;
+                    model.backward(&dl).ok()?;
+                    Some(model.grad_vector())
+                });
+            let grad = match grad {
+                Some(g) => g,
+                None => break,
+            };
+            let msg = WireMsg::Gradient { step, grad };
+            for s in 0..cfg.cluster.servers {
+                mail.send(me, s, &msg);
+            }
+            step += 1;
+            models.retain(|&s, _| s >= step);
+        }
+    }
+}
+
+fn byzantine_worker_thread(
+    me: usize,
+    cfg: RuntimeConfig,
+    mut attack: Box<dyn Attack>,
+    rx: Receiver<Frame>,
+    mail: Arc<Mailboxes>,
+    done: Arc<AtomicBool>,
+) {
+    use std::collections::HashMap;
+    let mut observed: HashMap<u64, Vec<Tensor>> = HashMap::new();
+    let mut forged: HashMap<u64, bool> = HashMap::new();
+    loop {
+        if done.load(Ordering::Relaxed) {
+            break;
+        }
+        let frame = match rx.recv_timeout(POLL) {
+            Ok(f) => f,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if let Ok(WireMsg::Model { step, params }) = decode(frame.payload) {
+            observed.entry(step).or_default().push(params);
+            if forged.contains_key(&step) {
+                continue;
+            }
+            forged.insert(step, true);
+            let honest = observed[&step].clone();
+            for (r, s) in (0..cfg.cluster.servers).enumerate() {
+                let view = AttackView::new(&honest, step, r);
+                if let Some(g) = attack.forge(&view) {
+                    mail.send(me, s, &WireMsg::Gradient { step, grad: g });
+                }
+            }
+            observed.retain(|&s, _| s + 2 >= step);
+        }
+    }
+}
+
+/// Runs a full cluster on OS threads until every honest server completes
+/// `max_steps` updates (or the wall timeout fires).
+///
+/// # Errors
+///
+/// Returns [`GuanYuError::InvalidConfig`] for invalid configurations and
+/// when the run exceeds `wall_timeout`.
+pub fn run_cluster(
+    cfg: &RuntimeConfig,
+    model_builder: impl Fn(&mut TensorRng) -> Sequential,
+    train: Dataset,
+) -> Result<ClusterReport, GuanYuError> {
+    if cfg.cluster.servers > 1 {
+        cfg.cluster.validate()?;
+    }
+    if cfg.actual_byz_workers > cfg.cluster.byz_workers {
+        return Err(GuanYuError::InvalidConfig(
+            "actual Byzantine workers exceed declared".into(),
+        ));
+    }
+    if cfg.actual_byz_workers > 0 && cfg.worker_attack.is_none() {
+        return Err(GuanYuError::InvalidConfig(
+            "Byzantine workers configured without an attack".into(),
+        ));
+    }
+
+    let mut rng = TensorRng::new(cfg.seed);
+    let mut init_rng = rng.fork(0xA11);
+    let theta0 = model_builder(&mut init_rng).param_vector();
+
+    let total = cfg.cluster.servers + cfg.cluster.workers;
+    let mut senders = Vec::with_capacity(total);
+    let mut receivers = Vec::with_capacity(total);
+    for _ in 0..total {
+        let (tx, rx) = unbounded::<Frame>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let mail = Arc::new(Mailboxes { senders });
+    let done = Arc::new(AtomicBool::new(false));
+    let train = Arc::new(train);
+
+    let start = Instant::now();
+    let mut server_handles = Vec::new();
+    let mut receivers = receivers.into_iter();
+    for s in 0..cfg.cluster.servers {
+        let rx = receivers.next().expect("one receiver per node");
+        let gar = cfg
+            .server_gar
+            .build(cfg.cluster.krum_f())
+            .map_err(|e| GuanYuError::InvalidConfig(e.to_string()))?;
+        let cfg = cfg.clone();
+        let theta0 = theta0.clone();
+        let mail = Arc::clone(&mail);
+        let done = Arc::clone(&done);
+        server_handles.push(std::thread::spawn(move || {
+            server_thread(s, cfg, theta0, rx, mail, done, gar)
+        }));
+    }
+    let honest_workers = cfg.cluster.workers - cfg.actual_byz_workers;
+    let mut worker_handles = Vec::new();
+    for w in 0..cfg.cluster.workers {
+        let id = cfg.cluster.servers + w;
+        let rx = receivers.next().expect("one receiver per node");
+        let cfg_c = cfg.clone();
+        let mail = Arc::clone(&mail);
+        let done = Arc::clone(&done);
+        if w < honest_workers {
+            let mut worker_rng = rng.fork(0xB0B + w as u64);
+            let model = model_builder(&mut worker_rng);
+            let batcher = Batcher::new(train.len(), cfg.batch_size, cfg.seed ^ (w as u64) << 17);
+            let train = Arc::clone(&train);
+            worker_handles.push(std::thread::spawn(move || {
+                worker_thread(id, cfg_c, model, batcher, train, rx, mail, done)
+            }));
+        } else {
+            let attack = cfg
+                .worker_attack
+                .expect("validated above")
+                .build(cfg.seed ^ 0xEB1 ^ (w as u64) << 8);
+            worker_handles.push(std::thread::spawn(move || {
+                byzantine_worker_thread(id, cfg_c, attack, rx, mail, done)
+            }));
+        }
+    }
+
+    // Join servers with a wall timeout (a stalled Byzantine-heavy run must
+    // not hang the caller).
+    let mut final_params = Vec::with_capacity(server_handles.len());
+    for h in server_handles {
+        loop {
+            if h.is_finished() {
+                final_params.push(h.join().expect("server thread panicked"));
+                break;
+            }
+            if start.elapsed() > cfg.wall_timeout {
+                done.store(true, Ordering::Relaxed);
+                return Err(GuanYuError::InvalidConfig(format!(
+                    "run exceeded wall timeout of {:?}",
+                    cfg.wall_timeout
+                )));
+            }
+            std::thread::sleep(POLL);
+        }
+    }
+    done.store(true, Ordering::Relaxed);
+    for h in worker_handles {
+        let _ = h.join();
+    }
+
+    let updates = cfg.max_steps * cfg.cluster.servers as u64;
+    Ok(ClusterReport {
+        final_params,
+        updates,
+        wall_secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use data::{synthetic_cifar, SyntheticConfig};
+    use nn::models;
+
+    fn train_data() -> Dataset {
+        synthetic_cifar(&SyntheticConfig {
+            train: 64,
+            test: 0,
+            side: 8,
+            ..Default::default()
+        })
+        .unwrap()
+        .0
+    }
+
+    fn builder(rng: &mut TensorRng) -> Sequential {
+        models::small_cnn(8, 2, 10, rng)
+    }
+
+    #[test]
+    fn honest_cluster_completes() {
+        let cfg = RuntimeConfig {
+            max_steps: 3,
+            ..RuntimeConfig::default_for_tests()
+        };
+        let report = run_cluster(&cfg, builder, train_data()).unwrap();
+        assert_eq!(report.final_params.len(), 6);
+        assert!(report.wall_secs > 0.0);
+    }
+
+    #[test]
+    fn servers_agree_after_run() {
+        let cfg = RuntimeConfig {
+            max_steps: 4,
+            ..RuntimeConfig::default_for_tests()
+        };
+        let report = run_cluster(&cfg, builder, train_data()).unwrap();
+        let diam = aggregation::properties::diameter(&report.final_params).unwrap();
+        let scale = report.final_params[0].norm().max(1.0);
+        assert!(diam < scale, "server diameter {diam} vs scale {scale}");
+    }
+
+    #[test]
+    fn byzantine_workers_tolerated() {
+        let cfg = RuntimeConfig {
+            max_steps: 3,
+            actual_byz_workers: 2,
+            worker_attack: Some(AttackKind::Random { scale: 100.0 }),
+            ..RuntimeConfig::default_for_tests()
+        };
+        let report = run_cluster(&cfg, builder, train_data()).unwrap();
+        assert_eq!(report.final_params.len(), 6);
+        for p in &report.final_params {
+            assert!(p.is_finite(), "attack must not corrupt honest servers");
+        }
+    }
+
+    #[test]
+    fn mute_byzantine_workers_tolerated() {
+        let cfg = RuntimeConfig {
+            max_steps: 2,
+            actual_byz_workers: 2,
+            worker_attack: Some(AttackKind::Mute),
+            ..RuntimeConfig::default_for_tests()
+        };
+        let report = run_cluster(&cfg, builder, train_data()).unwrap();
+        assert_eq!(report.final_params.len(), 6);
+    }
+
+    #[test]
+    fn rejects_invalid_byzantine_counts() {
+        let cfg = RuntimeConfig {
+            actual_byz_workers: 5, // declared 2
+            worker_attack: Some(AttackKind::Mute),
+            ..RuntimeConfig::default_for_tests()
+        };
+        assert!(run_cluster(&cfg, builder, train_data()).is_err());
+    }
+
+    #[test]
+    fn single_server_vanilla_shape() {
+        let cfg = RuntimeConfig {
+            cluster: ClusterConfig::single_server(4),
+            server_gar: GarKind::Average,
+            max_steps: 3,
+            ..RuntimeConfig::default_for_tests()
+        };
+        let report = run_cluster(&cfg, builder, train_data()).unwrap();
+        assert_eq!(report.final_params.len(), 1);
+    }
+}

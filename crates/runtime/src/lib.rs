@@ -1,0 +1,44 @@
+//! Threaded deployment of the GuanYu protocol over real channels.
+//!
+//! The simulation engines in the `guanyu` crate model the network; this
+//! crate actually *runs* the protocol across OS threads, one per node,
+//! exchanging length-prefixed binary frames over `crossbeam` channels —
+//! the in-process analogue of the paper's gRPC + protocol-buffers transport
+//! (§4). Every model and gradient really is serialised to bytes and parsed
+//! back on the receiving side, so the serialization path the paper's §5.3
+//! blames for its low-level-runtime overhead is genuinely exercised (and
+//! measured by the `serialization` Criterion bench).
+//!
+//! Scope note: the threaded runtime supports Byzantine *workers* (the
+//! attacks that forge from observed traffic); fully-omniscient server
+//! attacks are exercised in the deterministic engines where the adversary's
+//! global view is well-defined (see DESIGN.md §4).
+//!
+//! # Example
+//!
+//! ```
+//! use guanyu_runtime::{run_cluster, RuntimeConfig};
+//! use guanyu::config::ClusterConfig;
+//! use data::{synthetic_cifar, SyntheticConfig};
+//! use nn::models;
+//!
+//! let (train, _) = synthetic_cifar(&SyntheticConfig {
+//!     train: 64, test: 0, side: 8, ..Default::default()
+//! }).unwrap();
+//! let cfg = RuntimeConfig {
+//!     cluster: ClusterConfig::new(6, 1, 9, 2).unwrap(),
+//!     max_steps: 3,
+//!     ..RuntimeConfig::default_for_tests()
+//! };
+//! let report = run_cluster(&cfg, |rng| models::small_cnn(8, 2, 10, rng), train).unwrap();
+//! assert_eq!(report.final_params.len(), 6);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod cluster;
+mod wire;
+
+pub use cluster::{run_cluster, ClusterReport, RuntimeConfig};
+pub use wire::{decode, encode, WireError, WireMsg};

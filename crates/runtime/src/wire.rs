@@ -1,0 +1,233 @@
+//! Binary wire format for protocol messages.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! [ type: u8 ][ step: u64 ][ len: u32 ][ payload: f32 × len ]
+//! ```
+//!
+//! This plays the role of the paper's protocol-buffer encoding: compact,
+//! explicit, and — crucially for a Byzantine setting — every field is
+//! validated on decode. A malformed frame from a Byzantine peer yields a
+//! [`WireError`], never a panic.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tensor::Tensor;
+
+/// Message type tags.
+const TAG_MODEL: u8 = 1;
+const TAG_GRADIENT: u8 = 2;
+const TAG_EXCHANGE: u8 = 3;
+
+/// A decoded protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Server → workers: model for `step`.
+    Model {
+        /// Training step.
+        step: u64,
+        /// Flat parameter vector.
+        params: Tensor,
+    },
+    /// Worker → servers: gradient for `step`.
+    Gradient {
+        /// Training step.
+        step: u64,
+        /// Flat gradient vector.
+        grad: Tensor,
+    },
+    /// Server → servers: exchange model for `step`.
+    Exchange {
+        /// Training step.
+        step: u64,
+        /// Flat parameter vector.
+        params: Tensor,
+    },
+}
+
+impl WireMsg {
+    /// The step the message belongs to.
+    pub fn step(&self) -> u64 {
+        match self {
+            WireMsg::Model { step, .. }
+            | WireMsg::Gradient { step, .. }
+            | WireMsg::Exchange { step, .. } => *step,
+        }
+    }
+
+    /// The carried vector.
+    pub fn vector(&self) -> &Tensor {
+        match self {
+            WireMsg::Model { params, .. } | WireMsg::Exchange { params, .. } => params,
+            WireMsg::Gradient { grad, .. } => grad,
+        }
+    }
+}
+
+/// Decoding failures (malformed or truncated frames).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame is shorter than its header or declared payload.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// Unknown message-type tag.
+    BadTag(u8),
+    /// The declared payload length is implausible (> 2^28 elements).
+    LengthOutOfRange(u32),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated frame: need {needed} bytes, have {available}")
+            }
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::LengthOutOfRange(n) => write!(f, "payload length {n} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a message into a frame.
+pub fn encode(msg: &WireMsg) -> Bytes {
+    let (tag, step, vec) = match msg {
+        WireMsg::Model { step, params } => (TAG_MODEL, *step, params),
+        WireMsg::Gradient { step, grad } => (TAG_GRADIENT, *step, grad),
+        WireMsg::Exchange { step, params } => (TAG_EXCHANGE, *step, params),
+    };
+    let data = vec.as_slice();
+    let mut buf = BytesMut::with_capacity(1 + 8 + 4 + data.len() * 4);
+    buf.put_u8(tag);
+    buf.put_u64_le(step);
+    buf.put_u32_le(data.len() as u32);
+    for &v in data {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a frame.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for truncated frames, unknown tags or implausible
+/// payload lengths.
+pub fn decode(mut frame: Bytes) -> Result<WireMsg, WireError> {
+    const HEADER: usize = 1 + 8 + 4;
+    if frame.len() < HEADER {
+        return Err(WireError::Truncated {
+            needed: HEADER,
+            available: frame.len(),
+        });
+    }
+    let tag = frame.get_u8();
+    let step = frame.get_u64_le();
+    let len = frame.get_u32_le();
+    if len > (1 << 28) {
+        return Err(WireError::LengthOutOfRange(len));
+    }
+    let need = len as usize * 4;
+    if frame.len() < need {
+        return Err(WireError::Truncated {
+            needed: HEADER + need,
+            available: HEADER + frame.len(),
+        });
+    }
+    let mut data = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        data.push(frame.get_f32_le());
+    }
+    let vec = Tensor::from_flat(data);
+    match tag {
+        TAG_MODEL => Ok(WireMsg::Model { step, params: vec }),
+        TAG_GRADIENT => Ok(WireMsg::Gradient { step, grad: vec }),
+        TAG_EXCHANGE => Ok(WireMsg::Exchange { step, params: vec }),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(tag: u8) -> WireMsg {
+        let t = Tensor::from_flat(vec![1.5, -2.25, 0.0]);
+        match tag {
+            TAG_MODEL => WireMsg::Model { step: 42, params: t },
+            TAG_GRADIENT => WireMsg::Gradient { step: 42, grad: t },
+            _ => WireMsg::Exchange { step: 42, params: t },
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_tags() {
+        for tag in [TAG_MODEL, TAG_GRADIENT, TAG_EXCHANGE] {
+            let msg = sample(tag);
+            let back = decode(encode(&msg)).unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(back.step(), 42);
+            assert_eq!(back.vector().len(), 3);
+        }
+    }
+
+    #[test]
+    fn frame_size_is_header_plus_payload() {
+        let msg = sample(TAG_MODEL);
+        assert_eq!(encode(&msg).len(), 13 + 3 * 4);
+    }
+
+    #[test]
+    fn empty_vector_roundtrips() {
+        let msg = WireMsg::Gradient { step: 0, grad: Tensor::from_flat(vec![]) };
+        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let err = decode(Bytes::from_static(&[1, 2, 3])).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. }));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut frame = encode(&sample(TAG_MODEL)).to_vec();
+        frame.truncate(frame.len() - 4);
+        let err = decode(Bytes::from(frame)).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. }));
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut frame = encode(&sample(TAG_MODEL)).to_vec();
+        frame[0] = 99;
+        assert_eq!(decode(Bytes::from(frame)).unwrap_err(), WireError::BadTag(99));
+    }
+
+    #[test]
+    fn huge_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_MODEL);
+        buf.put_u64_le(0);
+        buf.put_u32_le(u32::MAX);
+        let err = decode(buf.freeze()).unwrap_err();
+        assert!(matches!(err, WireError::LengthOutOfRange(_)));
+    }
+
+    #[test]
+    fn nan_values_survive_transport() {
+        // The wire layer is value-agnostic; NaN filtering is the receiver's
+        // job (protocol layer), not the codec's.
+        let msg = WireMsg::Gradient {
+            step: 1,
+            grad: Tensor::from_flat(vec![f32::NAN]),
+        };
+        let back = decode(encode(&msg)).unwrap();
+        assert!(back.vector().as_slice()[0].is_nan());
+    }
+}

@@ -1,0 +1,61 @@
+//! Fuzz-style property tests for the wire codec: a Byzantine peer controls
+//! every byte on the channel, so `decode` must be total — any input yields
+//! `Ok` or a structured error, never a panic, and valid frames round-trip.
+
+use bytes::Bytes;
+use guanyu_runtime::{decode, encode, WireMsg};
+use proptest::prelude::*;
+use tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode() never panics on arbitrary bytes.
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(Bytes::from(bytes)); // must not panic
+    }
+
+    /// Every encodable message round-trips exactly.
+    #[test]
+    fn roundtrip(
+        tag in 0u8..3,
+        step in any::<u64>(),
+        payload in proptest::collection::vec(-1e6f32..1e6, 0..64),
+    ) {
+        let t = Tensor::from_flat(payload);
+        let msg = match tag {
+            0 => WireMsg::Model { step, params: t },
+            1 => WireMsg::Gradient { step, grad: t },
+            _ => WireMsg::Exchange { step, params: t },
+        };
+        let back = decode(encode(&msg)).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Truncating a valid frame anywhere yields an error, not garbage.
+    #[test]
+    fn truncation_detected(
+        payload in proptest::collection::vec(-10.0f32..10.0, 1..16),
+        cut in 0usize..12,
+    ) {
+        let msg = WireMsg::Gradient { step: 7, grad: Tensor::from_flat(payload) };
+        let frame = encode(&msg);
+        let cut = cut.min(frame.len().saturating_sub(1));
+        let truncated = frame.slice(0..cut);
+        prop_assert!(decode(truncated).is_err());
+    }
+
+    /// Bit-flipping the tag byte of a valid frame either still decodes to a
+    /// (different) valid message type or errors — never panics.
+    #[test]
+    fn tag_corruption_handled(
+        payload in proptest::collection::vec(-10.0f32..10.0, 1..8),
+        new_tag in any::<u8>(),
+    ) {
+        let msg = WireMsg::Model { step: 1, params: Tensor::from_flat(payload) };
+        let mut frame = encode(&msg).to_vec();
+        frame[0] = new_tag;
+        let _ = decode(Bytes::from(frame)); // totality is the property
+    }
+}

@@ -1,0 +1,162 @@
+//! Adversarial control over honest-message scheduling.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sim::NodeId;
+use crate::time::SimTime;
+
+/// Extra, adversary-chosen delay injected on top of the physical
+/// [`crate::DelayModel`].
+///
+/// The paper's adversary is omniscient and may, e.g., "congest some parts of
+/// the network for some short periods of time" (§2, discussion of SMR
+/// timeouts). `AdversarialSchedule` models exactly that: targeted
+/// multiplicative slow-downs and additive delays on messages touching
+/// selected honest nodes during selected windows. Because GuanYu only ever
+/// waits for quorums, such scheduling degrades throughput but not safety —
+/// experiments use this to show convergence is preserved.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AdversarialSchedule {
+    rules: Vec<DelayRule>,
+}
+
+/// One targeting rule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DelayRule {
+    /// Messages *from* this node are affected (`None` = any sender).
+    pub from: Option<NodeId>,
+    /// Messages *to* this node are affected (`None` = any receiver).
+    pub to: Option<NodeId>,
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive); `SimTime(u64::MAX)` = forever.
+    pub end: SimTime,
+    /// Multiplier applied to the physical delay (≥ 1 slows down).
+    pub factor: f64,
+    /// Additional constant delay in seconds.
+    pub extra_secs: f64,
+}
+
+impl AdversarialSchedule {
+    /// No adversarial interference.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule (builder style).
+    #[must_use]
+    pub fn with_rule(mut self, rule: DelayRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Convenience: slow every message *to* `target` by `factor` during
+    /// `[start, end)` — "congest the victim's ingress".
+    #[must_use]
+    pub fn congest_ingress(self, target: NodeId, start: SimTime, end: SimTime, factor: f64) -> Self {
+        self.with_rule(DelayRule {
+            from: None,
+            to: Some(target),
+            start,
+            end,
+            factor,
+            extra_secs: 0.0,
+        })
+    }
+
+    /// Convenience: delay every message *from* `source` by `extra_secs`,
+    /// forever — a permanently slow (but honest) node, indistinguishable
+    /// from a mute Byzantine node under asynchrony.
+    #[must_use]
+    pub fn straggler(self, source: NodeId, extra_secs: f64) -> Self {
+        self.with_rule(DelayRule {
+            from: Some(source),
+            to: None,
+            start: SimTime::ZERO,
+            end: SimTime(u64::MAX),
+            factor: 1.0,
+            extra_secs,
+        })
+    }
+
+    /// Number of active rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the schedule has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Applies all matching rules to a physical `delay`, given the message's
+    /// send time and endpoints. Rules compose (factors multiply, extras add).
+    pub fn apply(&self, now: SimTime, from: NodeId, to: NodeId, delay: f64) -> f64 {
+        let mut d = delay;
+        for rule in &self.rules {
+            let from_ok = rule.from.map_or(true, |f| f == from);
+            let to_ok = rule.to.map_or(true, |t| t == to);
+            let window_ok = now >= rule.start && now < rule.end;
+            if from_ok && to_ok && window_ok {
+                d = d * rule.factor + rule.extra_secs;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_is_identity() {
+        let s = AdversarialSchedule::none();
+        assert_eq!(s.apply(SimTime::ZERO, NodeId(0), NodeId(1), 0.5), 0.5);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn congestion_applies_in_window_only() {
+        let s = AdversarialSchedule::none().congest_ingress(
+            NodeId(1),
+            SimTime::from_secs_f64(1.0),
+            SimTime::from_secs_f64(2.0),
+            10.0,
+        );
+        // before window
+        assert_eq!(s.apply(SimTime::from_secs_f64(0.5), NodeId(0), NodeId(1), 0.1), 0.1);
+        // inside window
+        assert!((s.apply(SimTime::from_secs_f64(1.5), NodeId(0), NodeId(1), 0.1) - 1.0).abs() < 1e-12);
+        // after window
+        assert_eq!(s.apply(SimTime::from_secs_f64(2.5), NodeId(0), NodeId(1), 0.1), 0.1);
+        // other receiver unaffected
+        assert_eq!(s.apply(SimTime::from_secs_f64(1.5), NodeId(0), NodeId(2), 0.1), 0.1);
+    }
+
+    #[test]
+    fn straggler_adds_constant() {
+        let s = AdversarialSchedule::none().straggler(NodeId(3), 5.0);
+        assert!((s.apply(SimTime::ZERO, NodeId(3), NodeId(0), 0.01) - 5.01).abs() < 1e-12);
+        assert_eq!(s.apply(SimTime::ZERO, NodeId(0), NodeId(3), 0.01), 0.01);
+    }
+
+    #[test]
+    fn rules_compose() {
+        let s = AdversarialSchedule::none()
+            .straggler(NodeId(0), 1.0)
+            .congest_ingress(NodeId(1), SimTime::ZERO, SimTime(u64::MAX), 2.0);
+        // from 0 to 1: (0.1 + 1.0) * 2.0 applied in rule order: first
+        // straggler (0.1*1+1=1.1), then congestion (1.1*2+0=2.2)
+        assert!((s.apply(SimTime::ZERO, NodeId(0), NodeId(1), 0.1) - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = AdversarialSchedule::none().straggler(NodeId(2), 0.5);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: AdversarialSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.apply(SimTime::ZERO, NodeId(2), NodeId(0), 0.0), 0.5);
+    }
+}

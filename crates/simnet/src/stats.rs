@@ -1,0 +1,152 @@
+//! Traffic accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sim::NodeId;
+use crate::time::SimTime;
+
+/// One delivered message, as recorded in the (optional) trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryRecord {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload size used for delay computation.
+    pub bytes: usize,
+    /// When the message was sent.
+    pub sent: SimTime,
+    /// When it was delivered.
+    pub delivered: SimTime,
+}
+
+impl DeliveryRecord {
+    /// Transit time in seconds.
+    pub fn latency_secs(&self) -> f64 {
+        self.delivered.as_secs_f64() - self.sent.as_secs_f64()
+    }
+}
+
+/// Aggregate traffic counters, optionally with a full delivery trace.
+///
+/// The throughput figures read `messages_delivered` / `bytes_delivered`
+/// per simulated second; the trace (off by default — it grows with every
+/// message) supports fine-grained latency analysis in tests.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Total messages handed to the network.
+    pub messages_sent: u64,
+    /// Total messages delivered to nodes.
+    pub messages_delivered: u64,
+    /// Total payload bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Per-sender message counts, indexed by node id.
+    pub sent_by_node: Vec<u64>,
+    /// Per-receiver message counts, indexed by node id.
+    pub delivered_to_node: Vec<u64>,
+    /// Full trace (only populated when tracing is enabled).
+    pub trace: Vec<DeliveryRecord>,
+    /// Whether to record the full trace.
+    pub tracing: bool,
+}
+
+impl TrafficStats {
+    /// Creates zeroed counters for `n` nodes.
+    pub fn new(n: usize, tracing: bool) -> Self {
+        TrafficStats {
+            sent_by_node: vec![0; n],
+            delivered_to_node: vec![0; n],
+            tracing,
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn grow(&mut self, n: usize) {
+        if self.sent_by_node.len() < n {
+            self.sent_by_node.resize(n, 0);
+            self.delivered_to_node.resize(n, 0);
+        }
+    }
+
+    pub(crate) fn on_send(&mut self, from: NodeId, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        if let Some(c) = self.sent_by_node.get_mut(from.0) {
+            *c += 1;
+        }
+    }
+
+    pub(crate) fn on_deliver(&mut self, rec: DeliveryRecord) {
+        self.messages_delivered += 1;
+        self.bytes_delivered += rec.bytes as u64;
+        if let Some(c) = self.delivered_to_node.get_mut(rec.to.0) {
+            *c += 1;
+        }
+        if self.tracing {
+            self.trace.push(rec);
+        }
+    }
+
+    /// Mean delivery latency over the trace (requires tracing; 0.0 if the
+    /// trace is empty).
+    pub fn mean_latency_secs(&self) -> f64 {
+        if self.trace.is_empty() {
+            return 0.0;
+        }
+        self.trace.iter().map(DeliveryRecord::latency_secs).sum::<f64>() / self.trace.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = TrafficStats::new(2, false);
+        s.on_send(NodeId(0), 100);
+        s.on_send(NodeId(0), 50);
+        s.on_deliver(DeliveryRecord {
+            from: NodeId(0),
+            to: NodeId(1),
+            bytes: 100,
+            sent: SimTime::ZERO,
+            delivered: SimTime::from_secs_f64(0.1),
+        });
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.bytes_sent, 150);
+        assert_eq!(s.messages_delivered, 1);
+        assert_eq!(s.sent_by_node, vec![2, 0]);
+        assert_eq!(s.delivered_to_node, vec![0, 1]);
+        assert!(s.trace.is_empty(), "tracing disabled");
+    }
+
+    #[test]
+    fn tracing_records_and_measures_latency() {
+        let mut s = TrafficStats::new(2, true);
+        s.on_deliver(DeliveryRecord {
+            from: NodeId(0),
+            to: NodeId(1),
+            bytes: 10,
+            sent: SimTime::from_secs_f64(1.0),
+            delivered: SimTime::from_secs_f64(1.5),
+        });
+        s.on_deliver(DeliveryRecord {
+            from: NodeId(1),
+            to: NodeId(0),
+            bytes: 10,
+            sent: SimTime::from_secs_f64(2.0),
+            delivered: SimTime::from_secs_f64(2.1),
+        });
+        assert_eq!(s.trace.len(), 2);
+        assert!((s.mean_latency_secs() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_latency_zero() {
+        let s = TrafficStats::new(1, true);
+        assert_eq!(s.mean_latency_secs(), 0.0);
+    }
+}

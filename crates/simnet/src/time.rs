@@ -1,0 +1,91 @@
+//! Simulated time.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, measured in integer nanoseconds from the
+/// simulation epoch.
+///
+/// Using an integer keeps event ordering total (no NaN, no accumulation
+/// drift), which in turn keeps whole experiments bit-reproducible.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from seconds, saturating on overflow and clamping
+    /// negatives to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 {
+            return SimTime(0);
+        }
+        let nanos = secs * 1e9;
+        if nanos >= u64::MAX as f64 {
+            SimTime(u64::MAX)
+        } else {
+            SimTime(nanos as u64)
+        }
+    }
+
+    /// This time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Adds a (non-negative) duration in seconds.
+    #[must_use]
+    pub fn after_secs(self, secs: f64) -> Self {
+        SimTime(self.0.saturating_add(SimTime::from_secs_f64(secs).0))
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_seconds() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.0, 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_clamps_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn overflow_saturates() {
+        assert_eq!(SimTime::from_secs_f64(1e30), SimTime(u64::MAX));
+        assert_eq!(SimTime(u64::MAX).after_secs(1.0), SimTime(u64::MAX));
+    }
+
+    #[test]
+    fn after_secs_adds() {
+        let t = SimTime::from_secs_f64(1.0).after_secs(0.25);
+        assert!((t.as_secs_f64() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs_f64(0.1);
+        let b = SimTime::from_secs_f64(0.2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_secs_f64(0.5).to_string(), "0.500000s");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the network simulator: determinism, causality
+//! and conservation laws that must hold for arbitrary topologies and seeds.
+
+use proptest::prelude::*;
+use simnet::{Context, DelayModel, NodeId, SimNode, Simulator};
+
+/// A node that floods `fanout` messages at start and echoes until a hop
+/// budget is exhausted.
+struct Flooder {
+    fanout: usize,
+    hops: u32,
+}
+
+impl SimNode<u32> for Flooder {
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        let n = ctx.node_count();
+        for k in 0..self.fanout {
+            let to = NodeId((ctx.me().0 + 1 + k) % n);
+            if to != ctx.me() {
+                ctx.send(to, self.hops, 16);
+            }
+        }
+    }
+    fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Context<'_, u32>) {
+        if msg > 0 {
+            ctx.send(from, msg - 1, 16);
+        }
+    }
+}
+
+fn run_flood(seed: u64, nodes: usize, fanout: usize, hops: u32) -> (u64, Vec<(u64, u64)>) {
+    let mut sim = Simulator::new(seed, DelayModel::Exponential { mean: 0.01 }).with_tracing();
+    for _ in 0..nodes {
+        sim.add_node(Box::new(Flooder { fanout, hops }));
+    }
+    let delivered = sim.run();
+    let trace = sim
+        .stats()
+        .trace
+        .iter()
+        .map(|r| (r.sent.0, r.delivered.0))
+        .collect();
+    (delivered, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same seed → identical delivery trace, different seed → different.
+    #[test]
+    fn determinism(seed in 0u64..1000, nodes in 2usize..6, fanout in 1usize..3) {
+        let a = run_flood(seed, nodes, fanout, 3);
+        let b = run_flood(seed, nodes, fanout, 3);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Causality: every message is delivered at or after its send time.
+    #[test]
+    fn no_time_travel(seed in 0u64..1000, nodes in 2usize..6) {
+        let (_, trace) = run_flood(seed, nodes, 2, 3);
+        for (sent, delivered) in trace {
+            prop_assert!(delivered >= sent);
+        }
+    }
+
+    /// Conservation: every sent message is eventually delivered (no loss in
+    /// the simulator itself — loss is a protocol-level concern).
+    #[test]
+    fn conservation(seed in 0u64..1000, nodes in 2usize..6, hops in 0u32..5) {
+        let mut sim = Simulator::new(seed, DelayModel::Uniform { lo: 0.001, hi: 0.01 });
+        for _ in 0..nodes {
+            sim.add_node(Box::new(Flooder { fanout: 1, hops }));
+        }
+        let delivered = sim.run();
+        let stats = sim.stats();
+        prop_assert_eq!(stats.messages_sent, delivered);
+        prop_assert_eq!(stats.messages_delivered, delivered);
+        prop_assert_eq!(stats.bytes_sent, stats.bytes_delivered);
+    }
+
+    /// Delivery trace is sorted by delivery time (the event loop processes
+    /// in timestamp order).
+    #[test]
+    fn trace_is_time_ordered(seed in 0u64..1000) {
+        let (_, trace) = run_flood(seed, 4, 2, 4);
+        for pair in trace.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    /// Per-node counters sum to the totals.
+    #[test]
+    fn per_node_counters_consistent(seed in 0u64..1000, nodes in 2usize..7) {
+        let mut sim = Simulator::new(seed, DelayModel::Fixed { seconds: 0.01 });
+        for _ in 0..nodes {
+            sim.add_node(Box::new(Flooder { fanout: 2, hops: 2 }));
+        }
+        sim.run();
+        let stats = sim.stats();
+        prop_assert_eq!(
+            stats.sent_by_node.iter().sum::<u64>(),
+            stats.messages_sent
+        );
+        prop_assert_eq!(
+            stats.delivered_to_node.iter().sum::<u64>(),
+            stats.messages_delivered
+        );
+    }
+}

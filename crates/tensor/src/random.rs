@@ -1,0 +1,213 @@
+//! Seeded random tensor generation.
+//!
+//! All stochasticity in the reproduction flows through [`TensorRng`], a thin
+//! wrapper over ChaCha8 keyed by an explicit `u64` seed. Every experiment
+//! binary takes a seed, so every figure in EXPERIMENTS.md is bit-for-bit
+//! reproducible.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::Tensor;
+
+/// A deterministic random source for tensors.
+#[derive(Debug, Clone)]
+pub struct TensorRng {
+    rng: ChaCha8Rng,
+}
+
+impl TensorRng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        TensorRng {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator. Used to give each node in a
+    /// simulation its own stream so that adding a node does not perturb the
+    /// draws of the others.
+    pub fn fork(&mut self, stream: u64) -> Self {
+        let mut child = ChaCha8Rng::seed_from_u64(self.rng.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        child.set_stream(stream);
+        TensorRng { rng: child }
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// A standard-normal sample (Box–Muller).
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        // Box–Muller transform; one sample per call keeps the stream simple
+        // and deterministic.
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std * z as f32
+    }
+
+    /// A uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// A uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A tensor with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn uniform_tensor(&mut self, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+        let mut t = Tensor::zeros(dims);
+        for v in t.as_mut_slice() {
+            *v = self.uniform(lo, hi);
+        }
+        t
+    }
+
+    /// A tensor with i.i.d. normal entries.
+    pub fn normal_tensor(&mut self, dims: &[usize], mean: f32, std: f32) -> Tensor {
+        let mut t = Tensor::zeros(dims);
+        for v in t.as_mut_slice() {
+            *v = self.normal(mean, std);
+        }
+        t
+    }
+
+    /// Glorot/Xavier-uniform initialisation for a layer with the given fan-in
+    /// and fan-out — the standard initialisation for the paper's CNN layers.
+    pub fn glorot_uniform(&mut self, dims: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        self.uniform_tensor(dims, -limit, limit)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (k ≤ n).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TensorRng::new(42);
+        let mut b = TensorRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TensorRng::new(1);
+        let mut b = TensorRng::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut a = TensorRng::new(7);
+        let mut b = TensorRng::new(7);
+        let mut fa = a.fork(3);
+        let mut fb = b.fork(3);
+        for _ in 0..32 {
+            assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+        // forks with different stream ids disagree
+        let mut c = TensorRng::new(7);
+        let mut fc = c.fork(4);
+        let xs: Vec<u64> = (0..8).map(|_| fa.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| fc.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut r = TensorRng::new(0);
+        for _ in 0..1000 {
+            let x = r.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut r = TensorRng::new(123);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| r.normal(1.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn uniform_tensor_shape_and_bounds() {
+        let mut r = TensorRng::new(5);
+        let t = r.uniform_tensor(&[3, 4], 0.0, 1.0);
+        assert_eq!(t.dims(), &[3, 4]);
+        assert!(t.as_slice().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn glorot_limit_respected() {
+        let mut r = TensorRng::new(5);
+        let t = r.glorot_uniform(&[100, 100], 100, 100);
+        let limit = (6.0f32 / 200.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = TensorRng::new(9);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = TensorRng::new(11);
+        let idx = r.sample_indices(20, 10);
+        assert_eq!(idx.len(), 10);
+        let set: std::collections::HashSet<_> = idx.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(idx.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_rejects_oversample() {
+        let mut r = TensorRng::new(11);
+        let _ = r.sample_indices(3, 4);
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut r = TensorRng::new(3);
+        for _ in 0..100 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

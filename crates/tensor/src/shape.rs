@@ -1,0 +1,175 @@
+//! Tensor shapes and row-major stride arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::TensorError;
+
+/// An owned list of dimension sizes, e.g. `[batch, channels, height, width]`.
+///
+/// Shapes are immutable once constructed. The empty shape `[]` denotes a
+/// scalar with a single element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The scalar shape `[]` (volume 1).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Returns the dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides: the number of elements to skip to advance one unit
+    /// along each axis.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0usize; self.0.len()];
+        let mut acc = 1usize;
+        for (i, &d) in self.0.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index rank or any
+    /// component is out of range.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.0.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.0.clone(),
+            });
+        }
+        let mut off = 0usize;
+        let strides = self.strides();
+        for ((&i, &d), &s) in index.iter().zip(&self.0).zip(&strides) {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    shape: self.0.clone(),
+                });
+            }
+            off += i * s;
+        }
+        Ok(off)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_scalar_is_one() {
+        assert_eq!(Shape::scalar().volume(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn volume_is_product() {
+        assert_eq!(Shape::new(&[2, 3, 4]).volume(), 24);
+    }
+
+    #[test]
+    fn volume_with_zero_dim_is_zero() {
+        assert_eq!(Shape::new(&[2, 0, 4]).volume(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let s = Shape::new(&[2, 3, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let off = s.offset(&[i, j, k]).unwrap();
+                    assert!(off < 24);
+                    assert!(seen.insert(off), "offsets must be unique");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn offset_rejects_wrong_rank() {
+        let s = Shape::new(&[2, 3]);
+        assert!(matches!(
+            s.offset(&[1]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn offset_rejects_out_of_range() {
+        let s = Shape::new(&[2, 3]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0, 3]).is_err());
+        assert!(s.offset(&[1, 2]).is_ok());
+    }
+
+    #[test]
+    fn from_array_and_vec() {
+        let a: Shape = [2, 2].into();
+        let b: Shape = vec![2, 2].into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_shows_dims() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+    }
+}

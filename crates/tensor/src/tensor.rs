@@ -1,0 +1,418 @@
+//! The dense tensor type and its core arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, Shape, TensorError};
+
+/// A dense, row-major `f32` tensor.
+///
+/// `Tensor` is the unit of exchange throughout the reproduction: model
+/// parameter vectors, stochastic gradients and layer activations are all
+/// tensors. Parameter vectors and gradients are rank-1 tensors of dimension
+/// `d` (1.75M for the paper's CNN).
+///
+/// Cloning is `O(volume)`; the protocol code clones deliberately at
+/// "network" boundaries to model message copies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the shape's volume.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.volume() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-1 tensor from a flat buffer.
+    pub fn from_flat(data: Vec<f32>) -> Self {
+        let shape = Shape::new(&[data.len()]);
+        Tensor { shape, data }
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![0.0; shape.volume()];
+        Tensor { shape, data }
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.volume()];
+        Tensor { shape, data }
+    }
+
+    /// The `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// A scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension sizes, as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Flattens to a rank-1 tensor.
+    pub fn flatten(&self) -> Self {
+        Tensor {
+            shape: Shape::new(&[self.data.len()]),
+            data: self.data.clone(),
+        }
+    }
+
+    fn check_same_shape(&self, other: &Self) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Self) -> Result<Self> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Self) -> Result<Self> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, other: &Self) -> Result<Self> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Element-wise quotient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn div(&self, other: &Self) -> Result<Self> {
+        self.zip_with(other, |a, b| a / b)
+    }
+
+    /// Applies a binary function element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn zip_with<F: Fn(f32, f32) -> f32>(&self, other: &Self, f: F) -> Result<Self> {
+        self.check_same_shape(other)?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
+    }
+
+    /// In-place element-wise addition: `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_assign(&mut self, other: &Self) -> Result<()> {
+        self.check_same_shape(other)?;
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place AXPY: `self += alpha * other`, the SGD update primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Self) -> Result<()> {
+        self.check_same_shape(other)?;
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Applies a unary function element-wise, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
+    }
+
+    /// Applies a unary function element-wise in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|a| a * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn shift(&self, s: f32) -> Self {
+        self.map(|a| a + s)
+    }
+
+    /// Element-wise negation.
+    pub fn neg(&self) -> Self {
+        self.map(|a| -a)
+    }
+
+    /// `true` iff every element is finite (no NaN / ±inf).
+    ///
+    /// The protocol uses this as a first-line sanity filter on incoming
+    /// Byzantine messages: a vector containing NaN would otherwise poison
+    /// the coordinate-wise median.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|a| a.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Tensor::zeros(&[2, 2]).as_slice(), &[0.0; 4]);
+        assert_eq!(Tensor::ones(&[3]).as_slice(), &[1.0; 3]);
+        assert_eq!(Tensor::full(&[2], 7.5).as_slice(), &[7.5, 7.5]);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                let expected = if r == c { 1.0 } else { 0.0 };
+                assert_eq!(i.get(&[r, c]).unwrap(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_tensor() {
+        let s = Tensor::scalar(3.5);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.as_slice(), &[3.5]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 9.0).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 9.0);
+        assert_eq!(t.get(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn add_sub_mul_div() {
+        let a = Tensor::from_flat(vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_flat(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).unwrap().as_slice(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn binary_ops_reject_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[4]);
+        assert!(matches!(
+            a.add(&b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut a = Tensor::from_flat(vec![1.0, 1.0]);
+        let g = Tensor::from_flat(vec![2.0, 4.0]);
+        a.axpy(-0.5, &g).unwrap();
+        assert_eq!(a.as_slice(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_shift_neg() {
+        let a = Tensor::from_flat(vec![1.0, -2.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, -4.0]);
+        assert_eq!(a.shift(1.0).as_slice(), &[2.0, -1.0]);
+        assert_eq!(a.neg().as_slice(), &[-1.0, 2.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_flat(vec![1.0, 2.0, 3.0, 4.0]);
+        let m = a.reshape(&[2, 2]).unwrap();
+        assert_eq!(m.get(&[1, 0]).unwrap(), 3.0);
+        assert!(a.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn flatten_rank() {
+        let a = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(a.flatten().dims(), &[24]);
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_inf() {
+        let ok = Tensor::from_flat(vec![1.0, 2.0]);
+        assert!(ok.is_finite());
+        let nan = Tensor::from_flat(vec![1.0, f32::NAN]);
+        assert!(!nan.is_finite());
+        let inf = Tensor::from_flat(vec![f32::INFINITY]);
+        assert!(!inf.is_finite());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn map_inplace_applies() {
+        let mut a = Tensor::from_flat(vec![1.0, 4.0, 9.0]);
+        a.map_inplace(|x| x.sqrt());
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the tensor substrate: algebraic identities
+//! that must hold for arbitrary finite inputs.
+
+use proptest::prelude::*;
+use tensor::{Tensor, TensorRng};
+
+fn vec_pair(d: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (
+        proptest::collection::vec(-100.0f32..100.0, d),
+        proptest::collection::vec(-100.0f32..100.0, d),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_commutes((a, b) in vec_pair(16)) {
+        let ta = Tensor::from_flat(a);
+        let tb = Tensor::from_flat(b);
+        prop_assert_eq!(ta.add(&tb).unwrap(), tb.add(&ta).unwrap());
+    }
+
+    #[test]
+    fn sub_is_add_neg((a, b) in vec_pair(16)) {
+        let ta = Tensor::from_flat(a);
+        let tb = Tensor::from_flat(b);
+        prop_assert_eq!(ta.sub(&tb).unwrap(), ta.add(&tb.neg()).unwrap());
+    }
+
+    #[test]
+    fn distance_is_a_metric((a, b) in vec_pair(8), c in proptest::collection::vec(-100.0f32..100.0, 8)) {
+        let ta = Tensor::from_flat(a);
+        let tb = Tensor::from_flat(b);
+        let tc = Tensor::from_flat(c);
+        let dab = ta.distance(&tb).unwrap();
+        let dba = tb.distance(&ta).unwrap();
+        prop_assert!((dab - dba).abs() <= 1e-3 * dab.abs().max(1.0), "symmetry");
+        prop_assert!(ta.distance(&ta).unwrap() == 0.0, "identity");
+        // triangle inequality with float slack
+        let dac = ta.distance(&tc).unwrap();
+        let dcb = tc.distance(&tb).unwrap();
+        prop_assert!(dab <= dac + dcb + 1e-3, "triangle: {dab} vs {dac}+{dcb}");
+    }
+
+    #[test]
+    fn cauchy_schwarz((a, b) in vec_pair(12)) {
+        let ta = Tensor::from_flat(a);
+        let tb = Tensor::from_flat(b);
+        let dot = ta.dot(&tb).unwrap().abs();
+        let bound = ta.norm() * tb.norm();
+        prop_assert!(dot <= bound * (1.0 + 1e-4) + 1e-3, "{dot} vs {bound}");
+    }
+
+    #[test]
+    fn scale_scales_norm(a in proptest::collection::vec(-100.0f32..100.0, 16), s in -10.0f32..10.0) {
+        let ta = Tensor::from_flat(a);
+        let scaled = ta.scale(s);
+        let expected = ta.norm() * s.abs();
+        prop_assert!((scaled.norm() - expected).abs() <= 1e-3 * expected.max(1.0));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in proptest::collection::vec(-10.0f32..10.0, 9),
+        b in proptest::collection::vec(-10.0f32..10.0, 9),
+        c in proptest::collection::vec(-10.0f32..10.0, 9),
+    ) {
+        let ta = Tensor::from_vec(a, &[3, 3]).unwrap();
+        let tb = Tensor::from_vec(b, &[3, 3]).unwrap();
+        let tc = Tensor::from_vec(c, &[3, 3]).unwrap();
+        let lhs = ta.matmul(&tb.add(&tc).unwrap()).unwrap();
+        let rhs = ta.matmul(&tb).unwrap().add(&ta.matmul(&tc).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_matmul(
+        a in proptest::collection::vec(-10.0f32..10.0, 6),
+        b in proptest::collection::vec(-10.0f32..10.0, 6),
+    ) {
+        // (A·B)^T = B^T · A^T
+        let ta = Tensor::from_vec(a, &[2, 3]).unwrap();
+        let tb = Tensor::from_vec(b, &[3, 2]).unwrap();
+        let lhs = ta.matmul(&tb).unwrap().transpose().unwrap();
+        let rhs = tb.transpose().unwrap().matmul(&ta.transpose().unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in proptest::collection::vec(-10.0f32..10.0, 24)) {
+        let t = Tensor::from_flat(a);
+        let r = t.reshape(&[2, 3, 4]).unwrap();
+        prop_assert!((t.sum() - r.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mean_of_is_within_bounds(
+        vecs in proptest::collection::vec(proptest::collection::vec(-50.0f32..50.0, 4), 1..10)
+    ) {
+        let ts: Vec<Tensor> = vecs.into_iter().map(Tensor::from_flat).collect();
+        let m = Tensor::mean_of(&ts).unwrap();
+        for i in 0..4 {
+            let lo = ts.iter().map(|t| t.as_slice()[i]).fold(f32::INFINITY, f32::min);
+            let hi = ts.iter().map(|t| t.as_slice()[i]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(m.as_slice()[i] >= lo - 1e-3 && m.as_slice()[i] <= hi + 1e-3);
+        }
+    }
+
+    #[test]
+    fn rng_streams_reproducible(seed in 0u64..10_000) {
+        let mut a = TensorRng::new(seed);
+        let mut b = TensorRng::new(seed);
+        let ta = a.normal_tensor(&[8], 0.0, 1.0);
+        let tb = b.normal_tensor(&[8], 0.0, 1.0);
+        prop_assert_eq!(ta, tb);
+    }
+}

@@ -1,0 +1,57 @@
+//! Byzantine attack demo: vanilla averaging collapses, GuanYu survives.
+//!
+//! A miniature of the paper's Figure 4: the same workload runs through
+//! (1) a single-server averaging deployment with one Byzantine worker and
+//! (2) GuanYu with five Byzantine workers *and* a Byzantine (equivocating)
+//! parameter server.
+//!
+//! Run with: `cargo run --release --example byzantine_attack`
+
+use byzantine::AttackKind;
+use guanyu::experiment::{run, ExperimentConfig, SystemKind};
+
+fn main() {
+    let mut base = ExperimentConfig::paper_shaped(7);
+    base.steps = 100;
+    base.eval_every = 20;
+
+    // Unprotected baseline: one Byzantine worker sends corrupted gradients.
+    let mut vanilla = base.clone();
+    vanilla.actual_byz_workers = 1;
+    vanilla.worker_attack = Some(AttackKind::Random { scale: 100.0 });
+    let v = run(SystemKind::VanillaTf, &vanilla).expect("vanilla run");
+
+    // GuanYu under a much heavier fault load.
+    let mut protected = base.clone();
+    protected.actual_byz_workers = 5;
+    protected.worker_attack = Some(AttackKind::SignFlip { factor: 10.0 });
+    protected.actual_byz_servers = 1;
+    protected.server_attack = Some(AttackKind::Equivocate { scale: 10.0 });
+    let g = run(SystemKind::GuanYu, &protected).expect("guanyu run");
+
+    println!("system                         byzantine load            best accuracy");
+    println!(
+        "{:<30} {:<25} {:>12.1}%",
+        "vanilla averaging",
+        "1 worker",
+        v.best_accuracy() * 100.0
+    );
+    println!(
+        "{:<30} {:<25} {:>12.1}%",
+        "GuanYu",
+        "5 workers + 1 server",
+        g.best_accuracy() * 100.0
+    );
+
+    println!("\naccuracy trajectories (per evaluation point):");
+    println!("{:>8} {:>16} {:>16}", "step", "vanilla (1 byz)", "GuanYu (6 byz)");
+    for (rv, rg) in v.records.iter().zip(&g.records) {
+        println!("{:>8} {:>16.4} {:>16.4}", rv.step, rv.accuracy, rg.accuracy);
+    }
+
+    assert!(
+        g.best_accuracy() > v.best_accuracy() + 0.3,
+        "GuanYu should massively outperform attacked averaging"
+    );
+    println!("\nGuanYu survived a 6-node Byzantine coalition that a 1-node attack used to kill.");
+}

@@ -1,0 +1,24 @@
+//! Workspace umbrella crate for the GuanYu reproduction.
+//!
+//! This crate exists so that the repository's top-level `examples/` and
+//! `tests/` directories can exercise the public API of every member crate.
+//! It re-exports the member crates under stable names; see the individual
+//! crates for the actual functionality:
+//!
+//! * [`tensor`] — dense tensor math (substrate S1 in DESIGN.md)
+//! * [`nn`] — neural networks and backprop (S2)
+//! * [`data`] — datasets, including the synthetic CIFAR substitute (S3)
+//! * [`aggregation`] — robust gradient aggregation rules (S4)
+//! * [`simnet`] — deterministic asynchronous network simulator (S5)
+//! * [`byzantine`] — attack implementations (S6)
+//! * [`guanyu`] — the GuanYu protocol, baselines and experiment harness (S7)
+//! * [`guanyu_runtime`] — threaded deployment over real channels (S8)
+
+pub use aggregation;
+pub use byzantine;
+pub use data;
+pub use guanyu;
+pub use guanyu_runtime;
+pub use nn;
+pub use simnet;
+pub use tensor;

@@ -1,0 +1,162 @@
+//! Cross-engine consistency: the lockstep engine, the event-driven
+//! simulator and the threaded runtime implement the *same protocol*, so on
+//! the same workload all three must (a) make progress, (b) keep honest
+//! servers in agreement, and (c) produce models that learn.
+
+use std::time::Duration;
+
+use byzantine::AttackKind;
+use data::{synthetic_cifar, Dataset, SyntheticConfig};
+use guanyu::config::ClusterConfig;
+use guanyu::cost::CostModel;
+use guanyu::lockstep::{LockstepConfig, LockstepTrainer};
+use guanyu::metrics::evaluate;
+use guanyu::protocol::{build_simulation, ProtocolConfig};
+use guanyu_runtime::{run_cluster, RuntimeConfig};
+use nn::{models, LrSchedule, Sequential};
+use simnet::DelayModel;
+use tensor::{Tensor, TensorRng};
+
+const STEPS: u64 = 50;
+
+fn dataset() -> (Dataset, Dataset) {
+    synthetic_cifar(&SyntheticConfig {
+        train: 256,
+        test: 128,
+        side: 8,
+        noise: 0.3,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+fn cluster() -> ClusterConfig {
+    ClusterConfig::new(6, 1, 9, 2).unwrap()
+}
+
+fn builder(rng: &mut TensorRng) -> Sequential {
+    models::small_cnn(8, 4, 10, rng)
+}
+
+fn eval_accuracy(params: &[Tensor], test: &Dataset) -> f32 {
+    use aggregation::Gar;
+    let global = aggregation::CoordinateWiseMedian::new()
+        .aggregate(params)
+        .unwrap();
+    let mut model = {
+        let mut rng = TensorRng::new(123);
+        builder(&mut rng)
+    };
+    evaluate(&mut model, &global, test, 64).unwrap().0
+}
+
+fn run_lockstep(test: &Dataset) -> f32 {
+    let (train, _) = dataset();
+    let mut cfg = LockstepConfig::guanyu(cluster(), 5);
+    cfg.batch_size = 16;
+    let mut t = LockstepTrainer::new(cfg, builder, train, test.clone()).unwrap();
+    for _ in 0..STEPS {
+        t.step().unwrap();
+    }
+    eval_accuracy(t.honest_server_params(), test)
+}
+
+fn run_event_driven(test: &Dataset) -> f32 {
+    let (train, _) = dataset();
+    let cfg = ProtocolConfig {
+        cluster: cluster(),
+        max_steps: STEPS,
+        lr: LrSchedule::constant(0.05),
+        server_gar: aggregation::GarKind::MultiKrum,
+        cost: CostModel::guanyu(),
+        batch_size: 16,
+        actual_byz_workers: 0,
+        worker_attack: None,
+        actual_byz_servers: 0,
+        server_attack: None,
+    };
+    let (mut sim, rec) =
+        build_simulation(&cfg, builder, train, 5, DelayModel::grid5000()).unwrap();
+    sim.run();
+    let params = rec.borrow().final_params();
+    eval_accuracy(&params, test)
+}
+
+fn run_threaded(test: &Dataset) -> f32 {
+    let (train, _) = dataset();
+    let cfg = RuntimeConfig {
+        cluster: cluster(),
+        max_steps: STEPS,
+        batch_size: 16,
+        seed: 5,
+        wall_timeout: Duration::from_secs(120),
+        ..RuntimeConfig::default_for_tests()
+    };
+    let report = run_cluster(&cfg, builder, train).unwrap();
+    eval_accuracy(&report.final_params, test)
+}
+
+#[test]
+fn all_engines_learn_the_same_task() {
+    let (_, test) = dataset();
+    let lockstep = run_lockstep(&test);
+    let event = run_event_driven(&test);
+    let threaded = run_threaded(&test);
+    println!("accuracies: lockstep {lockstep}, event-driven {event}, threaded {threaded}");
+    for (name, acc) in [
+        ("lockstep", lockstep),
+        ("event-driven", event),
+        ("threaded", threaded),
+    ] {
+        assert!(
+            acc > 0.3,
+            "{name} engine should clear 30% after {STEPS} steps, got {acc}"
+        );
+    }
+}
+
+#[test]
+fn event_driven_and_threaded_tolerate_byzantine_workers() {
+    let (train, test) = dataset();
+
+    // Event-driven with gross attackers.
+    let cfg = ProtocolConfig {
+        cluster: cluster(),
+        max_steps: STEPS,
+        lr: LrSchedule::constant(0.05),
+        server_gar: aggregation::GarKind::MultiKrum,
+        cost: CostModel::guanyu(),
+        batch_size: 16,
+        actual_byz_workers: 2,
+        worker_attack: Some(AttackKind::SignFlip { factor: 100.0 }),
+        actual_byz_servers: 0,
+        server_attack: None,
+    };
+    let (mut sim, rec) =
+        build_simulation(&cfg, builder, train.clone(), 6, DelayModel::grid5000()).unwrap();
+    sim.run();
+    let acc_event = eval_accuracy(&rec.borrow().final_params(), &test);
+
+    // Threaded with the same attack.
+    let cfg = RuntimeConfig {
+        cluster: cluster(),
+        max_steps: STEPS,
+        batch_size: 16,
+        seed: 6,
+        actual_byz_workers: 2,
+        worker_attack: Some(AttackKind::SignFlip { factor: 100.0 }),
+        wall_timeout: Duration::from_secs(120),
+        ..RuntimeConfig::default_for_tests()
+    };
+    let report = run_cluster(&cfg, builder, train).unwrap();
+    let acc_threaded = eval_accuracy(&report.final_params, &test);
+
+    assert!(
+        acc_event > 0.3,
+        "event-driven engine under attack got {acc_event}"
+    );
+    assert!(
+        acc_threaded > 0.3,
+        "threaded engine under attack got {acc_threaded}"
+    );
+}
