@@ -1,0 +1,371 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote` available
+//! offline). Supports exactly the shapes this workspace derives:
+//!
+//! * structs with named fields → JSON-model objects,
+//! * one-field tuple ("newtype") structs → transparent,
+//! * enums with unit / named-field / newtype variants → externally tagged,
+//!
+//! matching upstream serde's default representation. Generics and
+//! `#[serde(...)]` attributes are not supported (and not used here).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// Derives `serde::Serialize` (stand-in).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated code parses")
+}
+
+/// Derives `serde::Deserialize` (stand-in).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated code parses")
+}
+
+enum Data {
+    /// Named fields, in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct Name(Inner);`
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Newtype,
+}
+
+struct Item {
+    name: String,
+    data: Data,
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` / `#![...]` attributes (including doc comments).
+fn skip_attributes(it: &mut Tokens) {
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            it.next();
+        }
+        it.next(); // the [...] group
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(it: &mut Tokens) {
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(
+            it.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            it.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attributes(&mut it);
+    skip_visibility(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    let body = loop {
+        match it.next() {
+            Some(TokenTree::Group(g)) => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("generic types are not supported by the serde stand-in")
+            }
+            Some(_) => continue,
+            None => panic!("missing body for `{name}`"),
+        }
+    };
+    let data = match (kw.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Data::NamedStruct(parse_named_fields(body.stream())),
+        ("struct", Delimiter::Parenthesis) => {
+            assert_eq!(
+                count_tuple_fields(body.stream()),
+                1,
+                "only one-field tuple structs are supported"
+            );
+            Data::NewtypeStruct
+        }
+        ("enum", Delimiter::Brace) => Data::Enum(parse_variants(body.stream())),
+        other => panic!("unsupported item shape {other:?}"),
+    };
+    Item { name, data }
+}
+
+/// Field names of a `{ name: Type, ... }` body, skipping attributes,
+/// visibility and the type tokens (tracking `<...>` nesting so commas inside
+/// generic arguments don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        let mut angle_depth = 0usize;
+        for tok in it.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0usize;
+    let mut saw_tokens = false;
+    for tok in stream {
+        saw_tokens = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // N-1 separating commas (or N with a trailing comma; close enough for
+    // the single-field assertion above).
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                assert_eq!(
+                    count_tuple_fields(g.stream()),
+                    1,
+                    "only newtype enum variants are supported"
+                );
+                it.next();
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn push_fields_ser(out: &mut String, fields: &[String], accessor: impl Fn(&str) -> String) {
+    out.push_str("let mut __fields = ::std::vec::Vec::new();");
+    for f in fields {
+        let _ = write!(
+            out,
+            "__fields.push((::std::string::String::from(\"{f}\"), \
+             ::serde::Serialize::serialize_value({})));",
+            accessor(f)
+        );
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.data {
+        Data::NamedStruct(fields) => {
+            push_fields_ser(&mut body, fields, |f| format!("&self.{f}"));
+            body.push_str("::serde::Value::Object(__fields)");
+        }
+        Data::NewtypeStruct => {
+            body.push_str("::serde::Serialize::serialize_value(&self.0)");
+        }
+        Data::Enum(variants) => {
+            body.push_str("match self {");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let _ = write!(body, "{name}::{vname} {{ {bindings} }} => {{");
+                        push_fields_ser(&mut body, fields, |f| f.to_owned());
+                        let _ = write!(
+                            body,
+                            "let mut __outer = ::std::vec::Vec::new();\
+                             __outer.push((::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(__fields)));\
+                             ::serde::Value::Object(__outer) }},"
+                        );
+                    }
+                    VariantKind::Newtype => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname}(__x) => {{\
+                             let mut __outer = ::std::vec::Vec::new();\
+                             __outer.push((::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::serialize_value(__x)));\
+                             ::serde::Value::Object(__outer) }},"
+                        );
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+         fn serialize_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_named_de(out: &mut String, type_path: &str, fields: &[String], source: &str) {
+    let _ = write!(
+        out,
+        "let __obj = {source}.as_object().ok_or_else(|| \
+         ::serde::DeError::expected(\"object\", \"{type_path}\"))?;\
+         ::std::result::Result::Ok({type_path} {{"
+    );
+    for f in fields {
+        let _ = write!(
+            out,
+            "{f}: ::serde::Deserialize::deserialize_value(::serde::get_field(__obj, \"{f}\")?)?,"
+        );
+    }
+    out.push_str("})");
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.data {
+        Data::NamedStruct(fields) => {
+            gen_named_de(&mut body, name, fields, "__v");
+        }
+        Data::NewtypeStruct => {
+            let _ = write!(
+                body,
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize_value(__v)?))"
+            );
+        }
+        Data::Enum(variants) => {
+            body.push_str("match __v {");
+            // Unit variants arrive as plain strings.
+            body.push_str("::serde::Value::Str(__s) => match __s.as_str() {");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vname = &v.name;
+                    let _ = write!(
+                        body,
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    );
+                }
+            }
+            let _ = write!(
+                body,
+                "__other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),}},"
+            );
+            // Data-carrying variants arrive as single-entry objects.
+            body.push_str(
+                "::serde::Value::Object(__pairs) if __pairs.len() == 1 => {\
+                 let (__tag, __inner) = &__pairs[0];\
+                 match __tag.as_str() {",
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Named(fields) => {
+                        let _ = write!(body, "\"{vname}\" => {{");
+                        gen_named_de(&mut body, &format!("{name}::{vname}"), fields, "__inner");
+                        body.push_str("},");
+                    }
+                    VariantKind::Newtype => {
+                        let _ = write!(
+                            body,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize_value(__inner)?)),"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                body,
+                "__other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),}}}},"
+            );
+            let _ = write!(
+                body,
+                "_ => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"string or single-entry object\", \"{name}\")),}}"
+            );
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+         fn deserialize_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}

@@ -3,6 +3,7 @@
 use tensor::Tensor;
 
 use crate::gar::validate_inputs;
+use crate::kernel::{self, Exec};
 use crate::{Gar, Result};
 
 /// The arithmetic mean of all inputs.
@@ -35,8 +36,10 @@ impl Gar for Average {
     }
 
     fn aggregate(&self, inputs: &[Tensor]) -> Result<Tensor> {
-        validate_inputs(inputs, 1)?;
-        Ok(Tensor::mean_of(inputs)?)
+        let dims = validate_inputs(inputs, 1)?;
+        let mut out = vec![0.0f32; dims.iter().product()];
+        kernel::average_into(Exec::auto(), &kernel::views(inputs), &mut out);
+        Ok(Tensor::from_vec(out, &dims)?)
     }
 }
 

@@ -3,7 +3,8 @@
 use tensor::Tensor;
 
 use crate::gar::validate_inputs;
-use crate::krum::{Krum, ScoreMetric};
+use crate::kernel::{self, Exec};
+use crate::krum::ScoreMetric;
 use crate::{AggregationError, Gar, Result};
 
 /// Bulyan (El-Mhamdi et al., ICML 2018) over Krum.
@@ -73,59 +74,38 @@ impl Gar for Bulyan {
         let n = inputs.len();
         let select_count = n - 2 * self.f;
         let beta = n - 4 * self.f;
+        let exec = Exec::auto();
+        let views = kernel::views(inputs);
 
-        // Phase 1: iterated Krum selection.
-        let krum = Krum::new(self.f)?.with_metric(self.metric);
-        let mut remaining: Vec<Tensor> = inputs.to_vec();
-        let mut selected: Vec<Tensor> = Vec::with_capacity(select_count);
+        // Phase 1: iterated Krum selection. The O(n²·d) distance matrix is
+        // computed exactly once; each selection round rescoring only masks
+        // out the already-selected indices (O(n² log n), no d term), where
+        // the previous implementation recomputed the full matrix per round.
+        let dist = kernel::pairwise_distances(exec, &views, self.metric);
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut selected: Vec<usize> = Vec::with_capacity(select_count);
         while selected.len() < select_count {
-            // Krum needs 2f+3 inputs; as `remaining` shrinks below that we
-            // can safely take all of them — the adversary's `f` vectors are
+            let m = active.len();
+            // Krum needs 2f+3 inputs; as the active set shrinks below that
+            // we can safely take all of it — the adversary's `f` vectors are
             // already outnumbered in the selection set.
-            if remaining.len() >= krum.minimum_inputs() {
-                let winner = krum.aggregate(&remaining)?;
-                let pos = remaining
-                    .iter()
-                    .position(|t| t == &winner)
-                    .expect("krum returns one of its inputs");
-                selected.push(remaining.swap_remove(pos));
+            let winner = if m >= 2 * self.f + 3 {
+                let k = m - self.f - 2;
+                let scores = kernel::krum_scores_masked(&dist, n, &active, k);
+                active[kernel::select_smallest(&scores, 1)[0]]
             } else {
-                selected.push(remaining.swap_remove(0));
-            }
+                active[0]
+            };
+            selected.push(winner);
+            active.retain(|&i| i != winner);
         }
 
         // Phase 2: per-coordinate, average the beta values closest to the
         // median of the selection set.
         let volume: usize = dims.iter().product();
-        let m = selected.len();
+        let chosen: Vec<&[f32]> = selected.iter().map(|&i| views[i]).collect();
         let mut out = vec![0.0f32; volume];
-        let mut column = vec![0.0f32; m];
-        for (i, o) in out.iter_mut().enumerate() {
-            for (j, t) in selected.iter().enumerate() {
-                column[j] = t.as_slice()[i];
-            }
-            column.sort_unstable_by(|a, b| a.partial_cmp(b).expect("validated finite"));
-            let median = if m % 2 == 1 {
-                column[m / 2]
-            } else {
-                0.5 * (column[m / 2 - 1] + column[m / 2])
-            };
-            // The beta closest-to-median values form a contiguous window of
-            // the sorted column; find the best window.
-            let mut best_start = 0usize;
-            let mut best_spread = f32::INFINITY;
-            for start in 0..=(m - beta) {
-                let lo = column[start];
-                let hi = column[start + beta - 1];
-                let spread = (hi - median).abs().max((lo - median).abs());
-                if spread < best_spread {
-                    best_spread = spread;
-                    best_start = start;
-                }
-            }
-            let window = &column[best_start..best_start + beta];
-            *o = window.iter().sum::<f32>() / beta as f32;
-        }
+        kernel::bulyan_fold_into(exec, &chosen, beta, &mut out);
         Ok(Tensor::from_vec(out, &dims)?)
     }
 }

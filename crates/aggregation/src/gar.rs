@@ -170,10 +170,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_nan() {
-        let xs = vec![
-            Tensor::zeros(&[2]),
-            Tensor::from_flat(vec![f32::NAN, 0.0]),
-        ];
+        let xs = vec![Tensor::zeros(&[2]), Tensor::from_flat(vec![f32::NAN, 0.0])];
         assert!(matches!(
             validate_inputs(&xs, 1),
             Err(AggregationError::NonFiniteInput { index: 1 })

@@ -113,7 +113,11 @@ mod tests {
             .map(|&v| Tensor::from_flat(vec![v]))
             .collect();
         let out = GeometricMedian::new().aggregate(&xs).unwrap();
-        assert!((out.as_slice()[0] - 2.0).abs() < 0.1, "got {:?}", out.as_slice());
+        assert!(
+            (out.as_slice()[0] - 2.0).abs() < 0.1,
+            "got {:?}",
+            out.as_slice()
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use tensor::Tensor;
 
 use crate::gar::validate_inputs;
+use crate::kernel::{self, Exec};
 use crate::{Gar, Result};
 
 /// Distance metric used in Krum scores.
@@ -27,48 +28,15 @@ pub enum ScoreMetric {
 ///
 /// The score of input `x` is the sum of (squared) distances from `x` to its
 /// `n - f - 2` closest *other* inputs. Low score = central, well-supported
-/// vector; high score = outlier.
-fn krum_scores(inputs: &[Tensor], f: usize, metric: ScoreMetric) -> Result<Vec<f32>> {
+/// vector; high score = outlier. The Θ(n²·d) pairwise-distance matrix is
+/// built by [`kernel::pairwise_distances`] (parallel under the `parallel`
+/// feature); scores and selection use [`f32::total_cmp`], so extreme or
+/// degenerate values reorder instead of panicking.
+fn krum_scores(inputs: &[Tensor], f: usize, metric: ScoreMetric) -> Vec<f32> {
     let n = inputs.len();
     let k = n - f - 2; // number of closest neighbours summed per input
-    let mut dist2 = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = inputs[i].distance(&inputs[j])? as f64;
-            let v = match metric {
-                ScoreMetric::SquaredEuclidean => d * d,
-                ScoreMetric::Euclidean => d,
-            };
-            dist2[i * n + j] = v;
-            dist2[j * n + i] = v;
-        }
-    }
-    let mut scores = Vec::with_capacity(n);
-    let mut row = Vec::with_capacity(n - 1);
-    for i in 0..n {
-        row.clear();
-        for j in 0..n {
-            if j != i {
-                row.push(dist2[i * n + j]);
-            }
-        }
-        row.sort_unstable_by(|a, b| a.partial_cmp(b).expect("validated finite"));
-        scores.push(row.iter().take(k).sum::<f64>() as f32);
-    }
-    Ok(scores)
-}
-
-/// Indices of the `m` smallest-scoring inputs (ties broken by index).
-fn select_smallest(scores: &[f32], m: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .expect("scores are finite")
-            .then(a.cmp(&b))
-    });
-    idx.truncate(m);
-    idx
+    let dist = kernel::pairwise_distances(Exec::auto(), &kernel::views(inputs), metric);
+    kernel::krum_scores(&dist, n, k)
 }
 
 /// Krum: selects the single smallest-scoring input vector.
@@ -125,8 +93,9 @@ impl Gar for Krum {
 
     fn aggregate(&self, inputs: &[Tensor]) -> Result<Tensor> {
         validate_inputs(inputs, self.minimum_inputs())?;
-        let scores = krum_scores(inputs, self.f, self.metric)?;
-        let winner = select_smallest(&scores, 1)[0];
+        let scores = krum_scores(inputs, self.f, self.metric);
+        let winner = kernel::select_smallest(&scores, 1)[0];
+        // Zero-copy: the winner is returned by refcount bump.
         Ok(inputs[winner].clone())
     }
 }
@@ -181,7 +150,7 @@ impl MultiKrum {
     /// Same validation as [`Gar::aggregate`].
     pub fn scores(&self, inputs: &[Tensor]) -> Result<Vec<f32>> {
         validate_inputs(inputs, self.minimum_inputs())?;
-        krum_scores(inputs, self.f, self.metric)
+        Ok(krum_scores(inputs, self.f, self.metric))
     }
 
     /// Indices of the inputs that would be averaged (the selection set).
@@ -191,9 +160,9 @@ impl MultiKrum {
     /// Same validation as [`Gar::aggregate`].
     pub fn selection(&self, inputs: &[Tensor]) -> Result<Vec<usize>> {
         validate_inputs(inputs, self.minimum_inputs())?;
-        let scores = krum_scores(inputs, self.f, self.metric)?;
+        let scores = krum_scores(inputs, self.f, self.metric);
         let m = inputs.len() - self.f - 2;
-        Ok(select_smallest(&scores, m))
+        Ok(kernel::select_smallest(&scores, m))
     }
 }
 
@@ -211,12 +180,17 @@ impl Gar for MultiKrum {
     }
 
     fn aggregate(&self, inputs: &[Tensor]) -> Result<Tensor> {
-        validate_inputs(inputs, self.minimum_inputs())?;
-        let scores = krum_scores(inputs, self.f, self.metric)?;
+        let dims = validate_inputs(inputs, self.minimum_inputs())?;
+        let scores = krum_scores(inputs, self.f, self.metric);
         let m = inputs.len() - self.f - 2;
-        let selected = select_smallest(&scores, m);
-        let chosen: Vec<Tensor> = selected.iter().map(|&i| inputs[i].clone()).collect();
-        Ok(Tensor::mean_of(&chosen)?)
+        let selected = kernel::select_smallest(&scores, m);
+        // Average the selection set via the slice kernel: no tensor clones,
+        // just borrowed views of the selected buffers.
+        let views = kernel::views(inputs);
+        let chosen: Vec<&[f32]> = selected.iter().map(|&i| views[i]).collect();
+        let mut out = vec![0.0f32; dims.iter().product()];
+        kernel::average_into(Exec::auto(), &chosen, &mut out);
+        Ok(Tensor::from_vec(out, &dims)?)
     }
 }
 
@@ -241,9 +215,7 @@ mod tests {
         // centrality-weighted mean.
         let krum = Krum::new(0).unwrap();
         assert_eq!(krum.minimum_inputs(), 3);
-        let xs: Vec<Tensor> = (0..3)
-            .map(|i| Tensor::from_flat(vec![i as f32]))
-            .collect();
+        let xs: Vec<Tensor> = (0..3).map(|i| Tensor::from_flat(vec![i as f32])).collect();
         let out = MultiKrum::new(0).unwrap().aggregate(&xs).unwrap();
         assert_eq!(out.len(), 1);
         assert!(out.as_slice()[0] >= 0.0 && out.as_slice()[0] <= 2.0);
@@ -279,7 +251,10 @@ mod tests {
         let mk = MultiKrum::new(1).unwrap();
         let selected = mk.selection(&xs).unwrap();
         assert_eq!(selected.len(), xs.len() - 1 - 2);
-        assert!(!selected.contains(&6), "Byzantine index must not be selected");
+        assert!(
+            !selected.contains(&6),
+            "Byzantine index must not be selected"
+        );
         let out = mk.aggregate(&xs).unwrap();
         assert!(out.distance(&xs[0]).unwrap() < 0.1);
     }
@@ -310,7 +285,9 @@ mod tests {
     #[test]
     fn euclidean_metric_also_excludes_byzantine() {
         let xs = clustered_inputs();
-        let mk = MultiKrum::new(1).unwrap().with_metric(ScoreMetric::Euclidean);
+        let mk = MultiKrum::new(1)
+            .unwrap()
+            .with_metric(ScoreMetric::Euclidean);
         let sel = mk.selection(&xs).unwrap();
         assert!(!sel.contains(&6));
     }
@@ -330,7 +307,7 @@ mod tests {
 
     #[test]
     fn select_smallest_breaks_ties_by_index() {
-        assert_eq!(select_smallest(&[1.0, 1.0, 0.5], 2), vec![2, 0]);
+        assert_eq!(kernel::select_smallest(&[1.0, 1.0, 0.5], 2), vec![2, 0]);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! [`Krum`], [`TrimmedMean`], [`Bulyan`], [`GeometricMedian`].
 //!
 //! All rules implement the object-safe [`Gar`] trait so the protocol code
-//! can swap them at run time.
+//! can swap them at run time. Each rule is a thin validation shim over a
+//! pure slice-level kernel in [`kernel`]; with the `parallel` cargo feature
+//! the kernels run chunked across threads with bit-identical outputs (the
+//! determinism contract the protocol relies on).
 //!
 //! # Example
 //!
@@ -51,6 +54,7 @@ mod bulyan;
 mod error;
 mod gar;
 mod geometric_median;
+pub mod kernel;
 mod krum;
 mod meamed;
 mod median;
@@ -62,6 +66,7 @@ pub use bulyan::Bulyan;
 pub use error::AggregationError;
 pub use gar::{Gar, GarKind};
 pub use geometric_median::GeometricMedian;
+pub use kernel::Exec;
 pub use krum::{Krum, MultiKrum, ScoreMetric};
 pub use meamed::Meamed;
 pub use median::CoordinateWiseMedian;

@@ -3,6 +3,7 @@
 use tensor::Tensor;
 
 use crate::gar::validate_inputs;
+use crate::kernel::{self, Exec};
 use crate::{AggregationError, Gar, Result};
 
 /// Coordinate-wise **mea**n-around-the-**med**ian (Xie et al., 2018).
@@ -54,37 +55,10 @@ impl Gar for Meamed {
 
     fn aggregate(&self, inputs: &[Tensor]) -> Result<Tensor> {
         let dims = validate_inputs(inputs, self.minimum_inputs())?;
-        let n = inputs.len();
-        let keep = n - self.f;
+        let keep = inputs.len() - self.f;
         let volume: usize = dims.iter().product();
         let mut out = vec![0.0f32; volume];
-        let mut column: Vec<f32> = vec![0.0; n];
-        for (i, o) in out.iter_mut().enumerate() {
-            for (j, t) in inputs.iter().enumerate() {
-                column[j] = t.as_slice()[i];
-            }
-            column.sort_unstable_by(|a, b| a.partial_cmp(b).expect("validated finite"));
-            let median = if n % 2 == 1 {
-                column[n / 2]
-            } else {
-                0.5 * (column[n / 2 - 1] + column[n / 2])
-            };
-            // `keep` closest-to-median values form a contiguous window of
-            // the sorted column.
-            let mut best_start = 0usize;
-            let mut best_spread = f32::INFINITY;
-            for start in 0..=(n - keep) {
-                let spread = (column[start + keep - 1] - median)
-                    .abs()
-                    .max((column[start] - median).abs());
-                if spread < best_spread {
-                    best_spread = spread;
-                    best_start = start;
-                }
-            }
-            let window = &column[best_start..best_start + keep];
-            *o = window.iter().sum::<f32>() / keep as f32;
-        }
+        kernel::meamed_into(Exec::auto(), &kernel::views(inputs), keep, &mut out);
         Ok(Tensor::from_vec(out, &dims)?)
     }
 }
@@ -112,7 +86,11 @@ mod tests {
             .map(|&v| Tensor::from_flat(vec![v]))
             .collect();
         let out = Meamed::new(1).unwrap().aggregate(&xs).unwrap();
-        assert!((out.as_slice()[0] - 1.0).abs() < 0.2, "got {:?}", out.as_slice());
+        assert!(
+            (out.as_slice()[0] - 1.0).abs() < 0.2,
+            "got {:?}",
+            out.as_slice()
+        );
     }
 
     #[test]

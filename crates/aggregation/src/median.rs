@@ -3,6 +3,7 @@
 use tensor::Tensor;
 
 use crate::gar::validate_inputs;
+use crate::kernel::{self, Exec};
 use crate::{Gar, Result};
 
 /// The coordinate-wise median.
@@ -32,21 +33,6 @@ impl CoordinateWiseMedian {
     pub fn new() -> Self {
         CoordinateWiseMedian
     }
-
-    /// Scalar median matching the paper's definition: mean of the two middle
-    /// order statistics for even `n`, the middle order statistic for odd `n`.
-    ///
-    /// `values` is scratch space and will be reordered.
-    fn scalar_median(values: &mut [f32]) -> f32 {
-        debug_assert!(!values.is_empty());
-        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("inputs validated finite"));
-        let n = values.len();
-        if n % 2 == 1 {
-            values[n / 2]
-        } else {
-            0.5 * (values[n / 2 - 1] + values[n / 2])
-        }
-    }
 }
 
 impl Gar for CoordinateWiseMedian {
@@ -69,15 +55,8 @@ impl Gar for CoordinateWiseMedian {
     fn aggregate(&self, inputs: &[Tensor]) -> Result<Tensor> {
         let dims = validate_inputs(inputs, 1)?;
         let volume: usize = dims.iter().product();
-        let n = inputs.len();
         let mut out = vec![0.0f32; volume];
-        let mut column = vec![0.0f32; n];
-        for (i, o) in out.iter_mut().enumerate() {
-            for (j, t) in inputs.iter().enumerate() {
-                column[j] = t.as_slice()[i];
-            }
-            *o = Self::scalar_median(&mut column);
-        }
+        kernel::median_into(Exec::auto(), &kernel::views(inputs), &mut out);
         Ok(Tensor::from_vec(out, &dims)?)
     }
 }
@@ -121,13 +100,7 @@ mod tests {
     #[test]
     fn outlier_resistant_with_majority() {
         // 3 honest near 1.0, 2 Byzantine at ±1e9: median stays at honest value.
-        let m = median_of(&[
-            vec![0.9],
-            vec![1.0],
-            vec![1.1],
-            vec![1e9],
-            vec![-1e9],
-        ]);
+        let m = median_of(&[vec![0.9], vec![1.0], vec![1.1], vec![1e9], vec![-1e9]]);
         assert_eq!(m, vec![1.0]);
     }
 

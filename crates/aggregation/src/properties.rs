@@ -33,7 +33,9 @@ pub fn diameter(points: &[Tensor]) -> Result<f32> {
     let mut best = 0.0f32;
     for i in 0..points.len() {
         for j in (i + 1)..points.len() {
-            let d = points[i].distance(&points[j]).map_err(AggregationError::from)?;
+            let d = points[i]
+                .distance(&points[j])
+                .map_err(AggregationError::from)?;
             if d > best {
                 best = d;
             }
@@ -115,7 +117,9 @@ pub fn box_diagonal(points: &[Tensor]) -> Result<f32> {
 /// Returns tensor shape errors via [`AggregationError::Tensor`].
 pub fn deviation_ratio(aggregate: &Tensor, honest: &[Tensor]) -> Result<f32> {
     let center = Tensor::mean_of(honest).map_err(AggregationError::from)?;
-    let dist = aggregate.distance(&center).map_err(AggregationError::from)?;
+    let dist = aggregate
+        .distance(&center)
+        .map_err(AggregationError::from)?;
     let diam = diameter(honest)?;
     if diam == 0.0 {
         Ok(dist)
@@ -230,14 +234,8 @@ mod tests {
 
     #[test]
     fn contraction_factor_halving() {
-        let ins = vec![
-            Tensor::from_flat(vec![0.0]),
-            Tensor::from_flat(vec![2.0]),
-        ];
-        let outs = vec![
-            Tensor::from_flat(vec![0.5]),
-            Tensor::from_flat(vec![1.5]),
-        ];
+        let ins = vec![Tensor::from_flat(vec![0.0]), Tensor::from_flat(vec![2.0])];
+        let outs = vec![Tensor::from_flat(vec![0.5]), Tensor::from_flat(vec![1.5])];
         assert_eq!(contraction_factor(&ins, &outs).unwrap(), 0.5);
     }
 }

@@ -3,6 +3,7 @@
 use tensor::Tensor;
 
 use crate::gar::validate_inputs;
+use crate::kernel::{self, Exec};
 use crate::{AggregationError, Gar, Result};
 
 /// The coordinate-wise `f`-trimmed mean.
@@ -53,19 +54,9 @@ impl Gar for TrimmedMean {
 
     fn aggregate(&self, inputs: &[Tensor]) -> Result<Tensor> {
         let dims = validate_inputs(inputs, self.minimum_inputs())?;
-        let n = inputs.len();
-        let keep = n - 2 * self.f;
         let volume: usize = dims.iter().product();
         let mut out = vec![0.0f32; volume];
-        let mut column = vec![0.0f32; n];
-        for (i, o) in out.iter_mut().enumerate() {
-            for (j, t) in inputs.iter().enumerate() {
-                column[j] = t.as_slice()[i];
-            }
-            column.sort_unstable_by(|a, b| a.partial_cmp(b).expect("validated finite"));
-            let kept = &column[self.f..self.f + keep];
-            *o = kept.iter().sum::<f32>() / keep as f32;
-        }
+        kernel::trimmed_mean_into(Exec::auto(), &kernel::views(inputs), self.f, &mut out);
         Ok(Tensor::from_vec(out, &dims)?)
     }
 }

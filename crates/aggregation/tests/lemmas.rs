@@ -25,14 +25,8 @@ fn honest_and_byzantine(
     d: usize,
     scale: f32,
 ) -> impl Strategy<Value = (Vec<Tensor>, Vec<Tensor>)> {
-    let honest = proptest::collection::vec(
-        proptest::collection::vec(-scale..scale, d),
-        n,
-    );
-    let byz = proptest::collection::vec(
-        proptest::collection::vec(-1e6f32..1e6, d),
-        f,
-    );
+    let honest = proptest::collection::vec(proptest::collection::vec(-scale..scale, d), n);
+    let byz = proptest::collection::vec(proptest::collection::vec(-1e6f32..1e6, d), f);
     (honest, byz).prop_map(|(hs, bs)| {
         (
             hs.into_iter().map(Tensor::from_flat).collect(),
@@ -176,9 +170,7 @@ fn robust_rules_survive_mirror_attack_average_does_not() {
     let honest: Vec<Tensor> = (0..7)
         .map(|i| Tensor::from_flat(vec![1.0 + 0.01 * i as f32, -1.0]))
         .collect();
-    let attack: Vec<Tensor> = (0..2)
-        .map(|_| Tensor::from_flat(vec![-1e7, 1e7]))
-        .collect();
+    let attack: Vec<Tensor> = (0..2).map(|_| Tensor::from_flat(vec![-1e7, 1e7])).collect();
     let mut all = honest.clone();
     all.extend(attack);
 

@@ -2,11 +2,22 @@
 //!
 //! Backs the paper's §5.3 discussion of robust-aggregation overhead
 //! (Multi-Krum is Θ(n²d), the median Θ(n d log n), averaging Θ(n d)).
+//!
+//! The `kernel_serial_vs_parallel` group compares the serial and chunked
+//! kernel paths at the paper's deployment scale (n = 51 gradients of
+//! d = 1.75M coordinates — the "+5 f̄ / +1 f" GuanYu cluster of §5). Build
+//! with `--features parallel` to include the parallel side; pin the thread
+//! count with `GUANYU_KERNEL_THREADS` if desired. Outputs of the two paths
+//! are bit-identical (asserted by the `kernel_parity` property tests); this
+//! bench measures only the wall-clock gap.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use aggregation::{Average, Bulyan, CoordinateWiseMedian, Gar, MultiKrum, TrimmedMean};
+use aggregation::kernel::{self, Exec};
+use aggregation::{
+    Average, Bulyan, CoordinateWiseMedian, Gar, MultiKrum, ScoreMetric, TrimmedMean,
+};
 use tensor::{Tensor, TensorRng};
 
 fn inputs(n: usize, d: usize, seed: u64) -> Vec<Tensor> {
@@ -45,5 +56,75 @@ fn bench_gars(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gars);
+/// Serial vs parallel kernels on one (n, d) point.
+fn bench_kernel_pair(c: &mut Criterion, n: usize, d: usize, samples: usize) {
+    let mut group = c.benchmark_group("kernel_serial_vs_parallel");
+    group.sample_size(samples);
+    let xs = inputs(n, d, 7);
+    let views: Vec<&[f32]> = xs.iter().map(Tensor::as_slice).collect();
+    let label = format!("n{n}_d{d}");
+
+    let execs: &[(&str, Exec)] = &[
+        ("serial", Exec::Serial),
+        #[cfg(feature = "parallel")]
+        ("parallel", Exec::Parallel),
+    ];
+    for &(mode, exec) in execs {
+        group.bench_with_input(
+            BenchmarkId::new(format!("krum_distances_{mode}"), &label),
+            &views,
+            |b, views| {
+                b.iter(|| {
+                    kernel::pairwise_distances(
+                        exec,
+                        black_box(views),
+                        ScoreMetric::SquaredEuclidean,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("median_{mode}"), &label),
+            &views,
+            |b, views| {
+                let mut out = vec![0.0f32; d];
+                b.iter(|| kernel::median_into(exec, black_box(views), &mut out))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("trimmed_mean_{mode}"), &label),
+            &views,
+            |b, views| {
+                let mut out = vec![0.0f32; d];
+                b.iter(|| kernel::trimmed_mean_into(exec, black_box(views), 2, &mut out))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("meamed_{mode}"), &label),
+            &views,
+            |b, views| {
+                let mut out = vec![0.0f32; d];
+                b.iter(|| kernel::meamed_into(exec, black_box(views), n - 2, &mut out))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("bulyan_fold_{mode}"), &label),
+            &views,
+            |b, views| {
+                let mut out = vec![0.0f32; d];
+                b.iter(|| kernel::bulyan_fold_into(exec, black_box(views), n - 8, &mut out))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // A quick point for iteration, then the paper-scale deployment
+    // (51 × 1.75M ≈ 357 MB of gradients; a few seconds per sample).
+    bench_kernel_pair(c, 51, 100_000, 5);
+    bench_kernel_pair(c, 51, 1_750_000, 2);
+}
+
+criterion_group!(benches, bench_gars, bench_kernels);
 criterion_main!(benches);

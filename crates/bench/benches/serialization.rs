@@ -23,13 +23,11 @@ fn bench_wire(c: &mut Criterion) {
         });
         let frame = encode(&msg);
         group.bench_with_input(BenchmarkId::new("decode", d), &frame, |b, frame| {
-            b.iter(|| decode(black_box(frame.clone())).unwrap())
+            b.iter(|| decode(black_box(&frame[..])).unwrap())
         });
-        group.bench_with_input(
-            BenchmarkId::new("roundtrip", d),
-            &msg,
-            |b, msg| b.iter(|| decode(encode(black_box(msg))).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("roundtrip", d), &msg, |b, msg| {
+            b.iter(|| decode(&encode(black_box(msg))).unwrap())
+        });
     }
     let _ = Tensor::zeros(&[1]);
     group.finish();

@@ -2,15 +2,21 @@
 //!
 //! Measures the real (host) cost of a lockstep round — gradient compute +
 //! aggregation + exchange — for the vanilla baseline vs full GuanYu, the
-//! in-process analogue of the paper's throughput metric.
+//! in-process analogue of the paper's throughput metric. The
+//! `server_fold` group isolates the server-side Multi-Krum fold at the
+//! paper's quorum and dimension (q̄ = 51, d = 1.75M) so the serial vs
+//! `--features parallel` aggregation cost is visible without the gradient
+//! compute drowning it out.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
+use aggregation::{Gar, MultiKrum};
 use data::{synthetic_cifar, SyntheticConfig};
 use guanyu::config::ClusterConfig;
 use guanyu::lockstep::{LockstepConfig, LockstepTrainer};
 use nn::models;
-use tensor::TensorRng;
+use tensor::{Tensor, TensorRng};
 
 fn trainer(guanyu: bool) -> LockstepTrainer {
     let (train, test) = synthetic_cifar(&SyntheticConfig {
@@ -25,8 +31,13 @@ fn trainer(guanyu: bool) -> LockstepTrainer {
     } else {
         LockstepConfig::vanilla(18, true, 1)
     };
-    LockstepTrainer::new(cfg, |rng: &mut TensorRng| models::small_cnn(8, 8, 10, rng), train, test)
-        .unwrap()
+    LockstepTrainer::new(
+        cfg,
+        |rng: &mut TensorRng| models::small_cnn(8, 8, 10, rng),
+        train,
+        test,
+    )
+    .unwrap()
 }
 
 fn bench_steps(c: &mut Criterion) {
@@ -43,5 +54,27 @@ fn bench_steps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_steps);
+fn bench_server_fold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_fold");
+    group.sample_size(2);
+    // The paper's deployment: each server folds q̄ = 51 worker gradients of
+    // d = 1.75M coordinates with Multi-Krum (f̄ = 5). Build twice — with and
+    // without `--features parallel` — to compare engine-visible fold cost;
+    // the feature flips the kernels the rule dispatches to.
+    let (n, d, f) = (51usize, 1_750_000usize, 5usize);
+    let mut rng = TensorRng::new(11);
+    let grads: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(&[d], 0.0, 1.0)).collect();
+    let rule = MultiKrum::new(f).unwrap();
+    let mode = if cfg!(feature = "parallel") {
+        "parallel"
+    } else {
+        "serial"
+    };
+    group.bench_function(format!("multikrum_q51_d1.75M_{mode}"), |b| {
+        b.iter(|| rule.aggregate(black_box(&grads)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps, bench_server_fold);
 criterion_main!(benches);

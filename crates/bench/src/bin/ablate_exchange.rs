@@ -22,7 +22,11 @@ fn main() {
         let mut cfg = ExperimentConfig::paper_shaped(seed);
         cfg.steps = steps;
         cfg.disable_exchange = disable;
-        let label = if disable { "exchange OFF" } else { "exchange ON" };
+        let label = if disable {
+            "exchange OFF"
+        } else {
+            "exchange ON"
+        };
         let mut trainer = build_trainer(SystemKind::GuanYu, &cfg).expect("trainer");
         println!("-- {label} --");
         println!("{:>8} {:>16} {:>12}", "step", "server diameter", "accuracy");
@@ -31,9 +35,8 @@ fn main() {
         for s in 1..=steps {
             trainer.step().expect("step");
             if s % eval_every == 0 || s == steps {
-                let diam =
-                    aggregation::properties::diameter(trainer.honest_server_params())
-                        .expect("diameter");
+                let diam = aggregation::properties::diameter(trainer.honest_server_params())
+                    .expect("diameter");
                 let rec = trainer.evaluate().expect("eval");
                 println!("{:>8} {:>16.6} {:>12.4}", s, diam, rec.accuracy);
                 rows.push((s, diam, rec.accuracy));

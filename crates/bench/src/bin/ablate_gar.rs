@@ -32,7 +32,10 @@ fn main() {
     ];
 
     println!("GAR ablation | GuanYu cluster (6,1,18,5) | 5 Byzantine workers | {steps} steps\n");
-    println!("{:<20} {:<26} {:>12} {:>12}", "server GAR", "attack", "best acc", "final loss");
+    println!(
+        "{:<20} {:<26} {:>12} {:>12}",
+        "server GAR", "attack", "best acc", "final loss"
+    );
 
     let mut results = Vec::new();
     for gar in gars {

@@ -24,8 +24,14 @@ fn main() {
         AttackKind::LittleIsEnough { z: 0.5 },
         AttackKind::LittleIsEnough { z: 1.5 },
         AttackKind::LittleIsEnough { z: 3.0 },
-        AttackKind::StaleReplay { lag: 1, factor: 1.0 },
-        AttackKind::StaleReplay { lag: 5, factor: 2.0 },
+        AttackKind::StaleReplay {
+            lag: 1,
+            factor: 1.0,
+        },
+        AttackKind::StaleReplay {
+            lag: 5,
+            factor: 2.0,
+        },
         AttackKind::Orthogonal,
     ];
 

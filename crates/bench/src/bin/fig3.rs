@@ -41,8 +41,7 @@ fn main() {
     ];
     for (fw, fs) in declared {
         let mut cfg = base.clone();
-        cfg.cluster =
-            ClusterConfig::new(6, fs, 18, fw).expect("paper-shaped clusters are valid");
+        cfg.cluster = ClusterConfig::new(6, fs, 18, fw).expect("paper-shaped clusters are valid");
         let r = run(SystemKind::GuanYu, &cfg).expect("guanyu run");
         print_curve(&r);
         results.push(r);

@@ -30,7 +30,12 @@ fn main() {
         ("dir(a=10)", Partition::Dirichlet { alpha: 10.0 }),
         ("dir(a=0.5)", Partition::Dirichlet { alpha: 0.5 }),
         ("dir(a=0.1)", Partition::Dirichlet { alpha: 0.1 }),
-        ("shards(2)", Partition::Shards { classes_per_worker: 2 }),
+        (
+            "shards(2)",
+            Partition::Shards {
+                classes_per_worker: 2,
+            },
+        ),
     ];
     let gars = [GarKind::MultiKrum, GarKind::Median];
 

@@ -79,7 +79,10 @@ fn main() {
         .iter()
         .map(|&s| run(s, &base).expect("run"))
         .collect();
-    println!("{:<28} {:>14} {:>16}", "system", "total time (s)", "updates/s");
+    println!(
+        "{:<28} {:>14} {:>16}",
+        "system", "total time (s)", "updates/s"
+    );
     for r in &results {
         println!(
             "{:<28} {:>14.3} {:>16.3}",

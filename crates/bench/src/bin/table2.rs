@@ -22,7 +22,10 @@ fn main() {
     println!("Table 2 | GuanYu (fwrk=5, fps=1) | {steps} steps | snapshot every 20\n");
     let (result, alignment) = run_with_alignment(&cfg).expect("guanyu run");
 
-    println!("{:>8} {:>12} {:>12} {:>12}", "step", "cos(phi)", "max diff1", "max diff2");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "step", "cos(phi)", "max diff1", "max diff2"
+    );
     for rec in &alignment {
         println!(
             "{:>8} {:>12.6} {:>12.6} {:>12.6}",

@@ -53,7 +53,10 @@ pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
 /// Prints one training curve as an aligned table.
 pub fn print_curve(result: &RunResult) {
     println!("\n== {} ==", result.system);
-    println!("{:>8} {:>12} {:>10} {:>10}", "step", "time (s)", "accuracy", "loss");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10}",
+        "step", "time (s)", "accuracy", "loss"
+    );
     for r in &result.records {
         println!(
             "{:>8} {:>12.3} {:>10.4} {:>10.4}",
@@ -70,7 +73,10 @@ pub fn print_curve(result: &RunResult) {
 /// Prints the "who reaches `target` accuracy when" comparison the paper
 /// uses for its overhead numbers.
 pub fn print_time_to_accuracy(results: &[RunResult], target: f32) {
-    println!("\n-- time / steps to reach {:.0}% accuracy --", target * 100.0);
+    println!(
+        "\n-- time / steps to reach {:.0}% accuracy --",
+        target * 100.0
+    );
     println!("{:<28} {:>12} {:>10}", "system", "time (s)", "steps");
     for r in results {
         match (r.time_to_accuracy(target), r.steps_to_accuracy(target)) {

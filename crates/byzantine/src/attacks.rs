@@ -395,7 +395,9 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(r, honest)| {
-                a.forge(&AttackView::new(honest, r as u64, 0)).unwrap().as_slice()[0]
+                a.forge(&AttackView::new(honest, r as u64, 0))
+                    .unwrap()
+                    .as_slice()[0]
             })
             .collect();
         // rounds 0,1 replay current (warm-up); round 2 replays round 0, etc.

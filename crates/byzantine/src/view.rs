@@ -193,7 +193,10 @@ mod tests {
             AttackKind::Equivocate { scale: 5.0 },
             AttackKind::Mute,
             AttackKind::Reversed { factor: 3.0 },
-            AttackKind::StaleReplay { lag: 2, factor: 2.0 },
+            AttackKind::StaleReplay {
+                lag: 2,
+                factor: 2.0,
+            },
             AttackKind::Orthogonal,
         ];
         for kind in kinds {

@@ -1,7 +1,7 @@
 //! Property tests over the attack library: structural contracts every
 //! attack must satisfy for arbitrary honest inputs.
 
-use byzantine::{Attack, AttackKind, AttackView};
+use byzantine::{AttackKind, AttackView};
 use proptest::prelude::*;
 use tensor::Tensor;
 
@@ -14,7 +14,10 @@ fn all_kinds() -> Vec<AttackKind> {
         AttackKind::Equivocate { scale: 5.0 },
         AttackKind::Mute,
         AttackKind::Reversed { factor: 3.0 },
-        AttackKind::StaleReplay { lag: 2, factor: 1.5 },
+        AttackKind::StaleReplay {
+            lag: 2,
+            factor: 1.5,
+        },
         AttackKind::Orthogonal,
     ]
 }

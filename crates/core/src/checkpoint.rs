@@ -112,11 +112,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Checkpoint {
-        Checkpoint::new(
-            42,
-            1.5,
-            vec![Tensor::from_flat(vec![1.0, 2.0]); 3],
-        )
+        Checkpoint::new(42, 1.5, vec![Tensor::from_flat(vec![1.0, 2.0]); 3])
     }
 
     #[test]
@@ -137,11 +133,7 @@ mod tests {
 
     #[test]
     fn rejects_dimension_mismatch() {
-        let c = Checkpoint::new(
-            0,
-            0.0,
-            vec![Tensor::zeros(&[2]), Tensor::zeros(&[3])],
-        );
+        let c = Checkpoint::new(0, 0.0, vec![Tensor::zeros(&[2]), Tensor::zeros(&[3])]);
         assert!(c.validate().is_err());
     }
 

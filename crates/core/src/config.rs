@@ -41,7 +41,12 @@ impl ClusterConfig {
     /// # Errors
     ///
     /// Returns [`GuanYuError::InvalidConfig`] when any bound is violated.
-    pub fn new(servers: usize, byz_servers: usize, workers: usize, byz_workers: usize) -> Result<Self> {
+    pub fn new(
+        servers: usize,
+        byz_servers: usize,
+        workers: usize,
+        byz_workers: usize,
+    ) -> Result<Self> {
         let cfg = ClusterConfig {
             servers,
             byz_servers,

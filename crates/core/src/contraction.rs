@@ -87,9 +87,7 @@ mod tests {
     fn perfectly_aligned_servers() {
         // Three servers along one direction u: differences are collinear.
         let u = Tensor::from_flat(vec![1.0, 2.0, -1.0]);
-        let params: Vec<Tensor> = (0..3)
-            .map(|i| u.scale(1.0 + 0.5 * i as f32))
-            .collect();
+        let params: Vec<Tensor> = (0..3).map(|i| u.scale(1.0 + 0.5 * i as f32)).collect();
         let rec = alignment_snapshot(100, &params).unwrap().unwrap();
         assert!(
             rec.cos_phi.abs() > 0.999,
@@ -125,9 +123,24 @@ mod tests {
     #[test]
     fn aligned_fraction_counts() {
         let recs = vec![
-            AlignmentRecord { step: 0, cos_phi: 0.99, max_diff1: 1.0, max_diff2: 0.9 },
-            AlignmentRecord { step: 20, cos_phi: 0.5, max_diff1: 1.0, max_diff2: 0.9 },
-            AlignmentRecord { step: 40, cos_phi: -0.98, max_diff1: 1.0, max_diff2: 0.9 },
+            AlignmentRecord {
+                step: 0,
+                cos_phi: 0.99,
+                max_diff1: 1.0,
+                max_diff2: 0.9,
+            },
+            AlignmentRecord {
+                step: 20,
+                cos_phi: 0.5,
+                max_diff1: 1.0,
+                max_diff2: 0.9,
+            },
+            AlignmentRecord {
+                step: 40,
+                cos_phi: -0.98,
+                max_diff1: 1.0,
+                max_diff2: 0.9,
+            },
         ];
         assert!((aligned_fraction(&recs, 0.95) - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(aligned_fraction(&[], 0.9), 0.0);

@@ -216,6 +216,8 @@ mod tests {
         let json2 = serde_json::to_string(&back).unwrap();
         let back2: CostModel = serde_json::from_str(&json2).unwrap();
         assert_eq!(back, back2);
-        assert!((back.grad_secs_per_example_param / m.grad_secs_per_example_param - 1.0).abs() < 1e-12);
+        assert!(
+            (back.grad_secs_per_example_param / m.grad_secs_per_example_param - 1.0).abs() < 1e-12
+        );
     }
 }

@@ -205,9 +205,7 @@ pub fn run(system: SystemKind, cfg: &ExperimentConfig) -> Result<RunResult> {
 /// # Errors
 ///
 /// Propagates configuration and substrate errors.
-pub fn run_with_alignment(
-    cfg: &ExperimentConfig,
-) -> Result<(RunResult, Vec<AlignmentRecord>)> {
+pub fn run_with_alignment(cfg: &ExperimentConfig) -> Result<(RunResult, Vec<AlignmentRecord>)> {
     let mut trainer = build_trainer(SystemKind::GuanYu, cfg)?;
     let result = trainer.run(cfg.steps, cfg.eval_every, &SystemKind::GuanYu.label(cfg))?;
     Ok((result, trainer.alignment_records().to_vec()))
@@ -220,7 +218,11 @@ mod tests {
     #[test]
     fn tiny_configs_run_every_system() {
         let cfg = ExperimentConfig::tiny();
-        for system in [SystemKind::VanillaTf, SystemKind::VanillaGuanYu, SystemKind::GuanYu] {
+        for system in [
+            SystemKind::VanillaTf,
+            SystemKind::VanillaGuanYu,
+            SystemKind::GuanYu,
+        ] {
             let result = run(system, &cfg).unwrap();
             assert_eq!(result.total_steps, cfg.steps);
             assert!(!result.records.is_empty());
@@ -242,7 +244,10 @@ mod tests {
         let tf = run(SystemKind::VanillaTf, &cfg).unwrap();
         let gv = run(SystemKind::VanillaGuanYu, &cfg).unwrap();
         let gy = run(SystemKind::GuanYu, &cfg).unwrap();
-        assert!(tf.total_secs < gv.total_secs, "native runtime must be faster");
+        assert!(
+            tf.total_secs < gv.total_secs,
+            "native runtime must be faster"
+        );
         assert!(gv.total_secs < gy.total_secs, "resilience must cost time");
     }
 

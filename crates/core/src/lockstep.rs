@@ -415,13 +415,13 @@ impl LockstepTrainer {
                     }
                 }
             }
-            let honest_needed = q_model
-                .saturating_sub(forged_msgs.len())
-                .min(n_honest_srv);
+            let honest_needed = q_model.saturating_sub(forged_msgs.len()).min(n_honest_srv);
             let (selected, completion) = self.quorum_delays(n_honest_srv, honest_needed, bytes);
             worst_quorum_time = worst_quorum_time.max(completion);
-            let mut received: Vec<Tensor> =
-                selected.iter().map(|&i| self.server_params[i].clone()).collect();
+            let mut received: Vec<Tensor> = selected
+                .iter()
+                .map(|&i| self.server_params[i].clone())
+                .collect();
             received.extend(forged_msgs);
             let view = if cfg.robust_worker_fold {
                 self.model_fold.aggregate(&received)?
@@ -480,9 +480,7 @@ impl LockstepTrainer {
                     }
                 }
             }
-            let honest_needed = q_grad
-                .saturating_sub(forged_msgs.len())
-                .min(n_honest_wrk);
+            let honest_needed = q_grad.saturating_sub(forged_msgs.len()).min(n_honest_wrk);
             let (selected, completion) = self.quorum_delays(n_honest_wrk, honest_needed, bytes);
             worst_grad_quorum = worst_grad_quorum.max(completion);
             let mut received: Vec<Tensor> =
@@ -545,7 +543,7 @@ impl LockstepTrainer {
         self.last_phase_time = phase_time;
 
         if cfg.alignment_every > 0
-            && self.step % cfg.alignment_every == 0
+            && self.step.is_multiple_of(cfg.alignment_every)
             && self.server_params.len() >= 3
         {
             if let Some(rec) = alignment_snapshot(self.step, &self.server_params)? {
@@ -626,6 +624,26 @@ mod tests {
 
     fn builder(rng: &mut TensorRng) -> Sequential {
         models::small_cnn(8, 4, 10, rng)
+    }
+
+    #[test]
+    fn broadcast_state_is_shared_not_copied() {
+        // The per-round fan-out paths must not deep-copy parameter buffers:
+        // all honest servers start from one θ₀ allocation, and cloning it
+        // again (as every broadcast does) is a refcount bump.
+        let (train, test) = tiny_data();
+        let cfg = LockstepConfig::guanyu(small_cluster(), 0);
+        let t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        let params = t.honest_server_params();
+        assert!(params.len() > 1);
+        for p in &params[1..] {
+            assert!(
+                params[0].shares_storage(p),
+                "initial server replicas must share one θ₀ buffer"
+            );
+        }
+        let broadcast = params[0].clone();
+        assert!(broadcast.shares_storage(&params[0]));
     }
 
     #[test]
@@ -777,7 +795,10 @@ mod tests {
         };
         let a = run(9);
         let b = run(9);
-        assert_eq!(a.records.last().unwrap().loss, b.records.last().unwrap().loss);
+        assert_eq!(
+            a.records.last().unwrap().loss,
+            b.records.last().unwrap().loss
+        );
         let c = run(10);
         assert_ne!(
             a.records.last().unwrap().loss,
@@ -789,8 +810,8 @@ mod tests {
     fn checkpoint_restore_roundtrip() {
         let (train, test) = tiny_data();
         let cfg = LockstepConfig::guanyu(small_cluster(), 8);
-        let mut t = LockstepTrainer::new(cfg.clone(), builder, train.clone(), test.clone())
-            .unwrap();
+        let mut t =
+            LockstepTrainer::new(cfg.clone(), builder, train.clone(), test.clone()).unwrap();
         for _ in 0..4 {
             t.step().unwrap();
         }

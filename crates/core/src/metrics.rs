@@ -128,9 +128,24 @@ mod tests {
     #[test]
     fn throughput_and_targets() {
         let r = result_with(vec![
-            TrainingRecord { step: 10, sim_time_secs: 1.0, accuracy: 0.3, loss: 2.0 },
-            TrainingRecord { step: 20, sim_time_secs: 2.0, accuracy: 0.55, loss: 1.5 },
-            TrainingRecord { step: 30, sim_time_secs: 3.0, accuracy: 0.62, loss: 1.2 },
+            TrainingRecord {
+                step: 10,
+                sim_time_secs: 1.0,
+                accuracy: 0.3,
+                loss: 2.0,
+            },
+            TrainingRecord {
+                step: 20,
+                sim_time_secs: 2.0,
+                accuracy: 0.55,
+                loss: 1.5,
+            },
+            TrainingRecord {
+                step: 30,
+                sim_time_secs: 3.0,
+                accuracy: 0.62,
+                loss: 1.2,
+            },
         ]);
         assert_eq!(r.throughput(), 10.0);
         assert_eq!(r.time_to_accuracy(0.6), Some(3.0));
@@ -178,7 +193,12 @@ mod tests {
 
     #[test]
     fn record_serde_roundtrip() {
-        let r = TrainingRecord { step: 5, sim_time_secs: 1.5, accuracy: 0.4, loss: 1.9 };
+        let r = TrainingRecord {
+            step: 5,
+            sim_time_secs: 1.5,
+            accuracy: 0.4,
+            loss: 1.9,
+        };
         let json = serde_json::to_string(&r).unwrap();
         let back: TrainingRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);

@@ -80,7 +80,9 @@ impl Recorder {
     pub fn final_params(&self) -> Vec<Tensor> {
         let mut ids: Vec<&usize> = self.server_params.keys().collect();
         ids.sort();
-        ids.iter().map(|id| self.server_params[id].clone()).collect()
+        ids.iter()
+            .map(|id| self.server_params[id].clone())
+            .collect()
     }
 
     /// Simulated time at which the slowest honest server finished `step`.
@@ -162,7 +164,7 @@ impl ServerNode {
 
     fn try_aggregate_gradients(&mut self, ctx: &mut Context<'_, Msg>) {
         let q = self.cfg.cluster.worker_quorum;
-        let ready = self.grads.get(&self.step).map_or(false, |v| v.len() >= q);
+        let ready = self.grads.get(&self.step).is_some_and(|v| v.len() >= q);
         if !ready || self.exchanging {
             return;
         }
@@ -207,10 +209,7 @@ impl ServerNode {
 
     fn try_fold_exchanges(&mut self, ctx: &mut Context<'_, Msg>) {
         let q = self.cfg.cluster.server_quorum;
-        let ready = self
-            .exchanges
-            .get(&self.step)
-            .map_or(false, |v| v.len() >= q);
+        let ready = self.exchanges.get(&self.step).is_some_and(|v| v.len() >= q);
         if !ready || !self.exchanging {
             return;
         }
@@ -225,7 +224,8 @@ impl ServerNode {
         {
             let mut rec = self.recorder.borrow_mut();
             rec.server_params.insert(ctx.me().0, self.params.clone());
-            rec.step_completions.push((ctx.me().0, self.step, ctx.now()));
+            rec.step_completions
+                .push((ctx.me().0, self.step, ctx.now()));
             rec.updates += 1;
         }
         self.exchanging = false;
@@ -279,11 +279,7 @@ struct WorkerNode {
 impl WorkerNode {
     fn try_compute(&mut self, ctx: &mut Context<'_, Msg>) {
         let q = self.cfg.cluster.server_quorum;
-        while self
-            .models
-            .get(&self.step)
-            .map_or(false, |v| v.len() >= q)
-        {
+        while self.models.get(&self.step).is_some_and(|v| v.len() >= q) {
             let received = self.models.remove(&self.step).expect("checked above");
             let folded = match self.median.aggregate(&received[..q]) {
                 Ok(f) => f,
@@ -400,7 +396,14 @@ impl ByzantineServerNode {
         for (r, w) in worker_ids.into_iter().enumerate() {
             let view = AttackView::new(&honest, step, r);
             if let Some(forged) = self.attack.forge(&view) {
-                ctx.send(w, Msg::Model { step, params: forged }, bytes);
+                ctx.send(
+                    w,
+                    Msg::Model {
+                        step,
+                        params: forged,
+                    },
+                    bytes,
+                );
             }
         }
         let server_ids: Vec<NodeId> = self.cfg.server_ids().collect();
@@ -410,7 +413,14 @@ impl ByzantineServerNode {
             }
             let view = AttackView::new(&honest, step, r + 1000);
             if let Some(forged) = self.attack.forge(&view) {
-                ctx.send(s, Msg::Exchange { step, params: forged }, bytes);
+                ctx.send(
+                    s,
+                    Msg::Exchange {
+                        step,
+                        params: forged,
+                    },
+                    bytes,
+                );
             }
         }
     }
@@ -669,9 +679,7 @@ mod tests {
         let mut cfg = base_cfg(1);
         cfg.actual_byz_workers = 5; // declared 2
         cfg.worker_attack = Some(AttackKind::Mute);
-        assert!(
-            build_simulation(&cfg, builder, tiny_train(), 0, DelayModel::grid5000()).is_err()
-        );
+        assert!(build_simulation(&cfg, builder, tiny_train(), 0, DelayModel::grid5000()).is_err());
     }
 
     #[test]

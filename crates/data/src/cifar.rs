@@ -20,7 +20,7 @@ const RECORD: usize = 1 + 3 * 32 * 32;
 ///
 /// Pixels are scaled to `[-1, 1]` (`x/127.5 - 1`).
 fn parse_batch(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>)> {
-    if bytes.is_empty() || bytes.len() % RECORD != 0 {
+    if bytes.is_empty() || !bytes.len().is_multiple_of(RECORD) {
         return Err(DatasetError::Io(format!(
             "CIFAR batch length {} is not a multiple of {RECORD}",
             bytes.len()
@@ -54,8 +54,8 @@ pub fn load_cifar10_dir(dir: &Path) -> Result<(Dataset, Dataset)> {
     let mut train_labels = Vec::new();
     for i in 1..=5 {
         let path = dir.join(format!("data_batch_{i}.bin"));
-        let bytes = fs::read(&path)
-            .map_err(|e| DatasetError::Io(format!("{}: {e}", path.display())))?;
+        let bytes =
+            fs::read(&path).map_err(|e| DatasetError::Io(format!("{}: {e}", path.display())))?;
         let (p, l) = parse_batch(&bytes)?;
         train_pixels.extend(p);
         train_labels.extend(l);
@@ -89,7 +89,7 @@ mod tests {
     fn parse_synthetic_record() {
         // one record: label 7, all pixels 255
         let mut bytes = vec![7u8];
-        bytes.extend(std::iter::repeat(255u8).take(RECORD - 1));
+        bytes.extend(std::iter::repeat_n(255u8, RECORD - 1));
         let (pixels, labels) = parse_batch(&bytes).unwrap();
         assert_eq!(labels, vec![7]);
         assert_eq!(pixels.len(), 3 * 32 * 32);
@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn parse_scales_zero_to_minus_one() {
         let mut bytes = vec![0u8];
-        bytes.extend(std::iter::repeat(0u8).take(RECORD - 1));
+        bytes.extend(std::iter::repeat_n(0u8, RECORD - 1));
         let (pixels, _) = parse_batch(&bytes).unwrap();
         assert!((pixels[0] + 1.0).abs() < 1e-6);
     }
@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn parse_rejects_bad_label() {
         let mut bytes = vec![12u8];
-        bytes.extend(std::iter::repeat(0u8).take(RECORD - 1));
+        bytes.extend(std::iter::repeat_n(0u8, RECORD - 1));
         assert!(parse_batch(&bytes).is_err());
     }
 

@@ -26,8 +26,8 @@ mod synthetic;
 
 pub use batcher::Batcher;
 pub use cifar::load_cifar10_dir;
-pub use partition::{label_skew, partition_dataset, partition_indices, Partition};
 pub use dataset::{Dataset, DatasetError};
+pub use partition::{label_skew, partition_dataset, partition_indices, Partition};
 pub use synthetic::{gaussian_blobs, synthetic_cifar, SyntheticConfig};
 
 /// Convenience alias for dataset results.

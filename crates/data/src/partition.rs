@@ -271,8 +271,7 @@ mod tests {
     fn dirichlet_small_alpha_is_skewed() {
         let d = data(400);
         let iid = partition_indices(&d, 8, Partition::Iid, 3).unwrap();
-        let skewed =
-            partition_indices(&d, 8, Partition::Dirichlet { alpha: 0.1 }, 3).unwrap();
+        let skewed = partition_indices(&d, 8, Partition::Dirichlet { alpha: 0.1 }, 3).unwrap();
         assert!(
             label_skew(&d, &skewed) > label_skew(&d, &iid) + 0.2,
             "α=0.1 should skew much more than IID: {} vs {}",
@@ -288,16 +287,22 @@ mod tests {
     #[test]
     fn dirichlet_large_alpha_approaches_iid() {
         let d = data(400);
-        let near_iid =
-            partition_indices(&d, 8, Partition::Dirichlet { alpha: 100.0 }, 4).unwrap();
+        let near_iid = partition_indices(&d, 8, Partition::Dirichlet { alpha: 100.0 }, 4).unwrap();
         assert!(label_skew(&d, &near_iid) < 0.25);
     }
 
     #[test]
     fn shards_limit_classes_per_worker() {
         let d = data(400);
-        let shards =
-            partition_indices(&d, 10, Partition::Shards { classes_per_worker: 1 }, 5).unwrap();
+        let shards = partition_indices(
+            &d,
+            10,
+            Partition::Shards {
+                classes_per_worker: 1,
+            },
+            5,
+        )
+        .unwrap();
         for (w, shard) in shards.iter().enumerate() {
             let mut classes: Vec<usize> = shard.iter().map(|&i| d.labels()[i]).collect();
             classes.sort_unstable();
@@ -315,7 +320,9 @@ mod tests {
         for strategy in [
             Partition::Iid,
             Partition::Dirichlet { alpha: 0.05 },
-            Partition::Shards { classes_per_worker: 2 },
+            Partition::Shards {
+                classes_per_worker: 2,
+            },
         ] {
             let shards = partition_indices(&d, 6, strategy, 6).unwrap();
             for (i, s) in shards.iter().enumerate() {
@@ -330,9 +337,15 @@ mod tests {
         assert!(partition_indices(&d, 0, Partition::Iid, 0).is_err());
         assert!(partition_indices(&d, 11, Partition::Iid, 0).is_err());
         assert!(partition_indices(&d, 2, Partition::Dirichlet { alpha: 0.0 }, 0).is_err());
-        assert!(
-            partition_indices(&d, 2, Partition::Shards { classes_per_worker: 0 }, 0).is_err()
-        );
+        assert!(partition_indices(
+            &d,
+            2,
+            Partition::Shards {
+                classes_per_worker: 0
+            },
+            0
+        )
+        .is_err());
     }
 
     #[test]
@@ -362,8 +375,7 @@ mod tests {
         let mut rng = TensorRng::new(11);
         let n = 5000;
         for shape in [0.5f64, 1.0, 3.0] {
-            let mean: f64 =
-                (0..n).map(|_| sample_gamma(shape, &mut rng)).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| sample_gamma(shape, &mut rng)).sum::<f64>() / n as f64;
             assert!(
                 (mean - shape).abs() < 0.15 * shape.max(1.0),
                 "Gamma({shape}) sample mean {mean}"

@@ -97,8 +97,7 @@ pub fn synthetic_cifar(config: &SyntheticConfig) -> Result<(Dataset, Dataset)> {
             for &p in proto {
                 data.push(p + rng.normal(0.0, config.noise));
             }
-            let label = if config.label_noise > 0.0 && rng.uniform(0.0, 1.0) < config.label_noise
-            {
+            let label = if config.label_noise > 0.0 && rng.uniform(0.0, 1.0) < config.label_noise {
                 rng.below(config.classes)
             } else {
                 class
@@ -142,8 +141,8 @@ pub fn gaussian_blobs(
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
         let class = i % classes;
-        for f in 0..features {
-            data.push(centers[class][f] + rng.normal(0.0, spread));
+        for &center in &centers[class] {
+            data.push(center + rng.normal(0.0, spread));
         }
         labels.push(class);
     }
@@ -265,11 +264,11 @@ mod tests {
         let dims = 4;
         let mut means = vec![vec![0.0f32; dims]; 2];
         let mut counts = vec![0usize; 2];
-        for i in 0..60 {
-            for f in 0..dims {
-                means[y[i]][f] += x.as_slice()[i * dims + f];
+        for (i, &label) in y.iter().enumerate() {
+            for (f, m) in means[label].iter_mut().enumerate() {
+                *m += x.as_slice()[i * dims + f];
             }
-            counts[y[i]] += 1;
+            counts[label] += 1;
         }
         for (m, &c) in means.iter_mut().zip(&counts) {
             for v in m.iter_mut() {
@@ -277,13 +276,15 @@ mod tests {
             }
         }
         let mut correct = 0;
-        for i in 0..60 {
+        for (i, &label) in y.iter().enumerate() {
             let row = &x.as_slice()[i * dims..(i + 1) * dims];
-            let dist = |m: &[f32]| -> f32 {
-                row.iter().zip(m).map(|(a, b)| (a - b).powi(2)).sum()
+            let dist = |m: &[f32]| -> f32 { row.iter().zip(m).map(|(a, b)| (a - b).powi(2)).sum() };
+            let pred = if dist(&means[0]) < dist(&means[1]) {
+                0
+            } else {
+                1
             };
-            let pred = if dist(&means[0]) < dist(&means[1]) { 0 } else { 1 };
-            if pred == y[i] {
+            if pred == label {
                 correct += 1;
             }
         }

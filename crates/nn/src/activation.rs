@@ -241,7 +241,9 @@ mod tests {
     #[test]
     fn tanh_matches_reference() {
         let mut t = Tanh::new();
-        let y = t.forward(&Tensor::from_flat(vec![0.0, 1.0, -1.0]), true).unwrap();
+        let y = t
+            .forward(&Tensor::from_flat(vec![0.0, 1.0, -1.0]), true)
+            .unwrap();
         assert!((y.as_slice()[0]).abs() < 1e-7);
         assert!((y.as_slice()[1] - 1.0f32.tanh()).abs() < 1e-7);
         assert!((y.as_slice()[2] + 1.0f32.tanh()).abs() < 1e-7);
@@ -259,8 +261,7 @@ mod tests {
             plus.as_mut_slice()[i] += eps;
             let mut minus = x.clone();
             minus.as_mut_slice()[i] -= eps;
-            let numeric =
-                (plus.as_slice()[i].tanh() - minus.as_slice()[i].tanh()) / (2.0 * eps);
+            let numeric = (plus.as_slice()[i].tanh() - minus.as_slice()[i].tanh()) / (2.0 * eps);
             assert!((dx.as_slice()[i] - numeric).abs() < 1e-3);
         }
     }
@@ -268,7 +269,9 @@ mod tests {
     #[test]
     fn sigmoid_range_and_gradient() {
         let mut s = Sigmoid::new();
-        let y = s.forward(&Tensor::from_flat(vec![0.0, 10.0, -10.0]), true).unwrap();
+        let y = s
+            .forward(&Tensor::from_flat(vec![0.0, 10.0, -10.0]), true)
+            .unwrap();
         assert!((y.as_slice()[0] - 0.5).abs() < 1e-6);
         assert!(y.as_slice()[1] > 0.999);
         assert!(y.as_slice()[2] < 0.001);
@@ -290,9 +293,20 @@ mod tests {
         let x = Tensor::ones(&[1000]);
         let y = d.forward(&x, true).unwrap();
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
-        let scaled = y.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
-        assert_eq!(zeros + scaled, 1000, "values are either dropped or scaled by 1/keep");
-        assert!(zeros > 350 && zeros < 650, "drop rate ~0.5, got {zeros}/1000");
+        let scaled = y
+            .as_slice()
+            .iter()
+            .filter(|&&v| (v - 2.0).abs() < 1e-6)
+            .count();
+        assert_eq!(
+            zeros + scaled,
+            1000,
+            "values are either dropped or scaled by 1/keep"
+        );
+        assert!(
+            zeros > 350 && zeros < 650,
+            "drop rate ~0.5, got {zeros}/1000"
+        );
         // expectation preserved
         assert!((y.mean().unwrap() - 1.0).abs() < 0.15);
     }

@@ -221,8 +221,8 @@ impl Layer for Conv2d {
             self.im2col(sample, h, w, oh, ow, pad_h, pad_w, &mut cols);
             let cols_t = Tensor::from_vec(cols.clone(), &[ckk, n_cols])?;
             let out_mat = self.weight.matmul(&cols_t)?; // [oc, oh*ow]
-            let dst =
-                &mut out.as_mut_slice()[b * self.out_channels * n_cols..(b + 1) * self.out_channels * n_cols];
+            let dst = &mut out.as_mut_slice()
+                [b * self.out_channels * n_cols..(b + 1) * self.out_channels * n_cols];
             for oc in 0..self.out_channels {
                 let bias = self.bias.as_slice()[oc];
                 for (d, &v) in dst[oc * n_cols..(oc + 1) * n_cols]
@@ -262,7 +262,8 @@ impl Layer for Conv2d {
             self.im2col(sample, h, w, oh, ow, pad_h, pad_w, &mut cols);
             let cols_t = Tensor::from_vec(cols.clone(), &[ckk, n_cols])?;
             let go_mat = Tensor::from_vec(
-                grad_out.as_slice()[b * self.out_channels * n_cols..(b + 1) * self.out_channels * n_cols]
+                grad_out.as_slice()
+                    [b * self.out_channels * n_cols..(b + 1) * self.out_channels * n_cols]
                     .to_vec(),
                 &[self.out_channels, n_cols],
             )?;
@@ -271,13 +272,15 @@ impl Layer for Conv2d {
             self.grad_weight.add_assign(&dw)?;
             // db += per-channel sums of dy
             for oc in 0..self.out_channels {
-                let s: f32 = go_mat.as_slice()[oc * n_cols..(oc + 1) * n_cols].iter().sum();
+                let s: f32 = go_mat.as_slice()[oc * n_cols..(oc + 1) * n_cols]
+                    .iter()
+                    .sum();
                 self.grad_bias.as_mut_slice()[oc] += s;
             }
             // dcols = Wᵀ · dy, scattered back to dx
             let dcols = weight_t.matmul(&go_mat)?;
-            let dsample =
-                &mut dx.as_mut_slice()[b * self.in_channels * h * w..(b + 1) * self.in_channels * h * w];
+            let dsample = &mut dx.as_mut_slice()
+                [b * self.in_channels * h * w..(b + 1) * self.in_channels * h * w];
             self.col2im(dcols.as_slice(), h, w, oh, ow, pad_h, pad_w, dsample);
         }
         Ok(dx)
@@ -338,8 +341,7 @@ mod tests {
         for wv in conv.params_mut()[0].as_mut_slice() {
             *wv = 1.0;
         }
-        let x =
-            Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
         let y = conv.forward(&x, true).unwrap();
         assert_eq!(y.dims(), &[1, 1, 2, 2]);
         assert_eq!(y.as_slice(), &[12.0, 16.0, 24.0, 28.0]);
@@ -363,8 +365,12 @@ mod tests {
     fn bias_is_added_per_channel() {
         let mut rng = TensorRng::new(0);
         let mut conv = Conv2d::new(1, 2, 1, 1, Padding::Same, &mut rng);
-        conv.params_mut()[0].as_mut_slice().copy_from_slice(&[0.0, 0.0]);
-        conv.params_mut()[1].as_mut_slice().copy_from_slice(&[1.5, -2.5]);
+        conv.params_mut()[0]
+            .as_mut_slice()
+            .copy_from_slice(&[0.0, 0.0]);
+        conv.params_mut()[1]
+            .as_mut_slice()
+            .copy_from_slice(&[1.5, -2.5]);
         let x = Tensor::zeros(&[1, 1, 2, 2]);
         let y = conv.forward(&x, true).unwrap();
         assert_eq!(&y.as_slice()[..4], &[1.5; 4]);
@@ -375,7 +381,9 @@ mod tests {
     fn multi_channel_sums_over_input_channels() {
         let mut rng = TensorRng::new(0);
         let mut conv = Conv2d::new(2, 1, 1, 1, Padding::Same, &mut rng);
-        conv.params_mut()[0].as_mut_slice().copy_from_slice(&[2.0, 3.0]);
+        conv.params_mut()[0]
+            .as_mut_slice()
+            .copy_from_slice(&[2.0, 3.0]);
         let x = Tensor::from_vec(vec![1.0, 1.0, 10.0, 10.0], &[1, 2, 1, 2]).unwrap();
         let y = conv.forward(&x, true).unwrap();
         // 2*1 + 3*10 = 32 at each position

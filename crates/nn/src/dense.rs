@@ -139,7 +139,9 @@ mod tests {
         layer.params_mut()[0]
             .as_mut_slice()
             .copy_from_slice(&[1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
-        layer.params_mut()[1].as_mut_slice().copy_from_slice(&[0.5, -0.5]);
+        layer.params_mut()[1]
+            .as_mut_slice()
+            .copy_from_slice(&[0.5, -0.5]);
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
         let y = layer.forward(&x, true).unwrap();
         // y = [1*1 + 2*0 + 3*0 + 0.5, 1*0 + 2*1 + 3*0 - 0.5]

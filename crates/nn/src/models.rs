@@ -47,7 +47,7 @@ pub const PAPER_CNN_PARAMS: usize = (5 * 5 * 3 * 64 + 64)
 ///
 /// Panics if `s` is not divisible by 4 (two stride-2 pools).
 pub fn small_cnn(s: usize, filters: usize, classes: usize, rng: &mut TensorRng) -> Sequential {
-    assert!(s % 4 == 0, "input side must be divisible by 4");
+    assert!(s.is_multiple_of(4), "input side must be divisible by 4");
     let final_side = s / 4;
     Sequential::new()
         .with(Conv2d::new(3, filters, 3, 1, Padding::Same, rng))
@@ -57,7 +57,11 @@ pub fn small_cnn(s: usize, filters: usize, classes: usize, rng: &mut TensorRng) 
         .with(Relu::new())
         .with(MaxPool2d::new(2, 2, Padding::Same))
         .with(Flatten::new())
-        .with(Dense::new(final_side * final_side * filters, 4 * classes, rng))
+        .with(Dense::new(
+            final_side * final_side * filters,
+            4 * classes,
+            rng,
+        ))
         .with(Relu::new())
         .with(Dense::new(4 * classes, classes, rng))
 }
@@ -129,10 +133,7 @@ mod tests {
         let m = mlp(&[4, 16, 8, 2], &mut rng).unwrap();
         // Dense+Relu+Dense+Relu+Dense
         assert_eq!(m.depth(), 5);
-        assert_eq!(
-            m.param_count(),
-            4 * 16 + 16 + 16 * 8 + 8 + 8 * 2 + 2
-        );
+        assert_eq!(m.param_count(), 4 * 16 + 16 + 16 * 8 + 8 + 8 * 2 + 2);
     }
 
     #[test]

@@ -174,7 +174,9 @@ mod tests {
         let mut pool = MaxPool2d::new(2, 2, Padding::Valid);
         let y = pool.forward(&x, true).unwrap();
         assert_eq!(y.as_slice(), &[3.0]);
-        let dx = pool.backward(&Tensor::from_vec(vec![7.0], &[1, 1, 1, 1]).unwrap()).unwrap();
+        let dx = pool
+            .backward(&Tensor::from_vec(vec![7.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
         assert_eq!(dx.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
     }
 

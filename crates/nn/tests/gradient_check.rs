@@ -136,8 +136,11 @@ fn full_small_cnn_gradients() {
     // The exact topology used by the simulation experiments, end to end.
     let mut rng = TensorRng::new(37);
     let model = models::small_cnn(8, 2, 3, &mut rng);
+    // eps is smaller than in the layer-level checks: the max-pool switches
+    // are denser in the full stack, and a wide finite-difference step can
+    // straddle one.
     let x = rng.uniform_tensor(&[2, 3, 8, 8], -1.0, 1.0);
-    check_gradients(model, &x, &[0, 2], 1e-2, 5e-2);
+    check_gradients(model, &x, &[0, 2], 2e-3, 5e-2);
 }
 
 #[test]
@@ -168,6 +171,10 @@ fn gradient_of_input_matches_finite_difference() {
         };
         let numeric = (lp - lm) / (2.0 * eps);
         let err = (dx.as_slice()[i] - numeric).abs();
-        assert!(err < 2e-2, "input grad {i}: {} vs {numeric}", dx.as_slice()[i]);
+        assert!(
+            err < 2e-2,
+            "input grad {i}: {} vs {numeric}",
+            dx.as_slice()[i]
+        );
     }
 }

@@ -1,11 +1,9 @@
 //! The threaded cluster: one OS thread per node, frames over channels.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-use bytes::Bytes;
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use aggregation::{CoordinateWiseMedian, Gar, GarKind};
 use byzantine::{Attack, AttackKind, AttackView};
@@ -74,7 +72,11 @@ struct Frame {
     /// sender, exactly like the paper's implementation.
     #[allow(dead_code)]
     from: usize,
-    payload: Bytes,
+    /// Shared frame bytes: a broadcast encodes once and every receiver
+    /// holds the same buffer (zero-copy fan-out on the transport layer).
+    /// `Arc<Vec<u8>>` rather than `Arc<[u8]>` so the encoder's `Vec` moves
+    /// into the Arc without re-copying the frame.
+    payload: Arc<Vec<u8>>,
 }
 
 struct Mailboxes {
@@ -83,11 +85,20 @@ struct Mailboxes {
 
 impl Mailboxes {
     fn send(&self, from: usize, to: usize, msg: &WireMsg) {
+        let payload = Arc::new(encode(msg));
         // A disconnected peer (already shut down) is not an error.
-        let _ = self.senders[to].send(Frame {
-            from,
-            payload: encode(msg),
-        });
+        let _ = self.senders[to].send(Frame { from, payload });
+    }
+
+    /// Encodes `msg` once and fans the same bytes out to every target.
+    fn broadcast(&self, from: usize, targets: impl Iterator<Item = usize>, msg: &WireMsg) {
+        let payload = Arc::new(encode(msg));
+        for to in targets {
+            let _ = self.senders[to].send(Frame {
+                from,
+                payload: Arc::clone(&payload),
+            });
+        }
     }
 }
 
@@ -113,13 +124,13 @@ fn server_thread(
     let servers = cfg.cluster.servers;
     let workers = cfg.cluster.workers;
     let broadcast_model = |params: &Tensor, step: u64| {
+        // The tensor clone is a refcount bump and the frame is encoded once
+        // for all workers.
         let msg = WireMsg::Model {
             step,
             params: params.clone(),
         };
-        for w in servers..servers + workers {
-            mail.send(me, w, &msg);
-        }
+        mail.broadcast(me, servers..servers + workers, &msg);
     };
     broadcast_model(&params, 0);
     loop {
@@ -131,7 +142,7 @@ fn server_thread(
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         };
-        let msg = match decode(frame.payload) {
+        let msg = match decode(&frame.payload) {
             Ok(m) => m,
             Err(_) => continue, // malformed frame: necessarily Byzantine, drop
         };
@@ -152,7 +163,7 @@ fn server_thread(
         // Fold gradients once the quorum for the current step is in.
         if !exchanging {
             let q = cfg.cluster.worker_quorum;
-            if grads.get(&step).map_or(false, |v| v.len() >= q) {
+            if grads.get(&step).is_some_and(|v| v.len() >= q) {
                 let received = grads.remove(&step).expect("checked");
                 if let Ok(agg) = gar.aggregate(&received[..q]) {
                     let lr = cfg.lr.at(step);
@@ -164,11 +175,7 @@ fn server_thread(
                             step,
                             params: params.clone(),
                         };
-                        for s in 0..servers {
-                            if s != me {
-                                mail.send(me, s, &msg);
-                            }
-                        }
+                        mail.broadcast(me, (0..servers).filter(|&s| s != me), &msg);
                     } else {
                         step += 1;
                         if step >= cfg.max_steps {
@@ -181,7 +188,7 @@ fn server_thread(
         }
         if exchanging {
             let q = cfg.cluster.server_quorum;
-            if exchanges.get(&step).map_or(false, |v| v.len() >= q) {
+            if exchanges.get(&step).is_some_and(|v| v.len() >= q) {
                 let received = exchanges.remove(&step).expect("checked");
                 if let Ok(folded) = median.aggregate(&received[..q]) {
                     params = folded;
@@ -200,6 +207,7 @@ fn server_thread(
     params
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_thread(
     me: usize,
     cfg: RuntimeConfig,
@@ -224,12 +232,12 @@ fn worker_thread(
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         };
-        if let Ok(WireMsg::Model { step: s, params }) = decode(frame.payload) {
+        if let Ok(WireMsg::Model { step: s, params }) = decode(&frame.payload) {
             if s >= step && params.is_finite() {
                 models.entry(s).or_default().push(params);
             }
         }
-        while models.get(&step).map_or(false, |v| v.len() >= q) {
+        while models.get(&step).is_some_and(|v| v.len() >= q) {
             let received = models.remove(&step).expect("checked");
             let folded = match median.aggregate(&received[..q]) {
                 Ok(f) => f,
@@ -239,23 +247,18 @@ fn worker_thread(
                 break;
             }
             model.zero_grads();
-            let grad = batcher
-                .next_batch(&train)
-                .ok()
-                .and_then(|(x, labels)| {
-                    let logits = model.forward(&x, true).ok()?;
-                    let (_, dl) = softmax_cross_entropy(&logits, &labels).ok()?;
-                    model.backward(&dl).ok()?;
-                    Some(model.grad_vector())
-                });
+            let grad = batcher.next_batch(&train).ok().and_then(|(x, labels)| {
+                let logits = model.forward(&x, true).ok()?;
+                let (_, dl) = softmax_cross_entropy(&logits, &labels).ok()?;
+                model.backward(&dl).ok()?;
+                Some(model.grad_vector())
+            });
             let grad = match grad {
                 Some(g) => g,
                 None => break,
             };
             let msg = WireMsg::Gradient { step, grad };
-            for s in 0..cfg.cluster.servers {
-                mail.send(me, s, &msg);
-            }
+            mail.broadcast(me, 0..cfg.cluster.servers, &msg);
             step += 1;
             models.retain(|&s, _| s >= step);
         }
@@ -282,7 +285,7 @@ fn byzantine_worker_thread(
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         };
-        if let Ok(WireMsg::Model { step, params }) = decode(frame.payload) {
+        if let Ok(WireMsg::Model { step, params }) = decode(&frame.payload) {
             observed.entry(step).or_default().push(params);
             if forged.contains_key(&step) {
                 continue;
@@ -334,7 +337,7 @@ pub fn run_cluster(
     let mut senders = Vec::with_capacity(total);
     let mut receivers = Vec::with_capacity(total);
     for _ in 0..total {
-        let (tx, rx) = unbounded::<Frame>();
+        let (tx, rx) = channel::<Frame>();
         senders.push(tx);
         receivers.push(rx);
     }

@@ -10,14 +10,21 @@
 //! explicit, and — crucially for a Byzantine setting — every field is
 //! validated on decode. A malformed frame from a Byzantine peer yields a
 //! [`WireError`], never a panic.
+//!
+//! Encoding serializes **directly from the tensor's borrowed buffer** (no
+//! intermediate copy of the payload), and [`encode_into`] reuses a caller
+//! scratch buffer so a broadcast can encode once and fan the same bytes out
+//! to every receiver.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use tensor::Tensor;
 
 /// Message type tags.
 const TAG_MODEL: u8 = 1;
 const TAG_GRADIENT: u8 = 2;
 const TAG_EXCHANGE: u8 = 3;
+
+/// Frame header size: tag + step + payload length.
+const HEADER: usize = 1 + 8 + 4;
 
 /// A decoded protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +69,14 @@ impl WireMsg {
             WireMsg::Gradient { grad, .. } => grad,
         }
     }
+
+    fn tag(&self) -> u8 {
+        match self {
+            WireMsg::Model { .. } => TAG_MODEL,
+            WireMsg::Gradient { .. } => TAG_GRADIENT,
+            WireMsg::Exchange { .. } => TAG_EXCHANGE,
+        }
+    }
 }
 
 /// Decoding failures (malformed or truncated frames).
@@ -94,55 +109,59 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Encodes a message into a frame.
-pub fn encode(msg: &WireMsg) -> Bytes {
-    let (tag, step, vec) = match msg {
-        WireMsg::Model { step, params } => (TAG_MODEL, *step, params),
-        WireMsg::Gradient { step, grad } => (TAG_GRADIENT, *step, grad),
-        WireMsg::Exchange { step, params } => (TAG_EXCHANGE, *step, params),
-    };
-    let data = vec.as_slice();
-    let mut buf = BytesMut::with_capacity(1 + 8 + 4 + data.len() * 4);
-    buf.put_u8(tag);
-    buf.put_u64_le(step);
-    buf.put_u32_le(data.len() as u32);
+/// Encodes a message into `buf` (cleared first), straight from the
+/// message's borrowed tensor buffer. Returns nothing; `buf` holds exactly
+/// one frame afterwards.
+pub fn encode_into(msg: &WireMsg, buf: &mut Vec<u8>) {
+    let data = msg.vector().as_slice();
+    buf.clear();
+    buf.reserve(HEADER + data.len() * 4);
+    buf.push(msg.tag());
+    buf.extend_from_slice(&msg.step().to_le_bytes());
+    buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
     for &v in data {
-        buf.put_f32_le(v);
+        buf.extend_from_slice(&v.to_le_bytes());
     }
-    buf.freeze()
 }
 
-/// Decodes a frame.
+/// Encodes a message into a fresh frame.
+pub fn encode(msg: &WireMsg) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_into(msg, &mut buf);
+    buf
+}
+
+/// Decodes a borrowed frame.
 ///
 /// # Errors
 ///
 /// Returns [`WireError`] for truncated frames, unknown tags or implausible
 /// payload lengths.
-pub fn decode(mut frame: Bytes) -> Result<WireMsg, WireError> {
-    const HEADER: usize = 1 + 8 + 4;
+pub fn decode(frame: &[u8]) -> Result<WireMsg, WireError> {
     if frame.len() < HEADER {
         return Err(WireError::Truncated {
             needed: HEADER,
             available: frame.len(),
         });
     }
-    let tag = frame.get_u8();
-    let step = frame.get_u64_le();
-    let len = frame.get_u32_le();
+    let tag = frame[0];
+    let step = u64::from_le_bytes(frame[1..9].try_into().expect("8 header bytes"));
+    let len = u32::from_le_bytes(frame[9..13].try_into().expect("4 header bytes"));
     if len > (1 << 28) {
         return Err(WireError::LengthOutOfRange(len));
     }
     let need = len as usize * 4;
-    if frame.len() < need {
+    let payload = &frame[HEADER..];
+    if payload.len() < need {
         return Err(WireError::Truncated {
             needed: HEADER + need,
-            available: HEADER + frame.len(),
+            available: frame.len(),
         });
     }
-    let mut data = Vec::with_capacity(len as usize);
-    for _ in 0..len {
-        data.push(frame.get_f32_le());
-    }
+    let data: Vec<f32> = payload[..need]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunks")))
+        .collect();
     let vec = Tensor::from_flat(data);
     match tag {
         TAG_MODEL => Ok(WireMsg::Model { step, params: vec }),
@@ -159,9 +178,15 @@ mod tests {
     fn sample(tag: u8) -> WireMsg {
         let t = Tensor::from_flat(vec![1.5, -2.25, 0.0]);
         match tag {
-            TAG_MODEL => WireMsg::Model { step: 42, params: t },
+            TAG_MODEL => WireMsg::Model {
+                step: 42,
+                params: t,
+            },
             TAG_GRADIENT => WireMsg::Gradient { step: 42, grad: t },
-            _ => WireMsg::Exchange { step: 42, params: t },
+            _ => WireMsg::Exchange {
+                step: 42,
+                params: t,
+            },
         }
     }
 
@@ -169,7 +194,7 @@ mod tests {
     fn roundtrip_all_tags() {
         for tag in [TAG_MODEL, TAG_GRADIENT, TAG_EXCHANGE] {
             let msg = sample(tag);
-            let back = decode(encode(&msg)).unwrap();
+            let back = decode(&encode(&msg)).unwrap();
             assert_eq!(back, msg);
             assert_eq!(back.step(), 42);
             assert_eq!(back.vector().len(), 3);
@@ -183,39 +208,51 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_reuses_buffer() {
+        let mut buf = Vec::new();
+        encode_into(&sample(TAG_MODEL), &mut buf);
+        let cap = buf.capacity();
+        encode_into(&sample(TAG_GRADIENT), &mut buf);
+        assert_eq!(buf.capacity(), cap, "no reallocation for same-size frames");
+        assert_eq!(decode(&buf).unwrap(), sample(TAG_GRADIENT));
+    }
+
+    #[test]
     fn empty_vector_roundtrips() {
-        let msg = WireMsg::Gradient { step: 0, grad: Tensor::from_flat(vec![]) };
-        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+        let msg = WireMsg::Gradient {
+            step: 0,
+            grad: Tensor::from_flat(vec![]),
+        };
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
     }
 
     #[test]
     fn truncated_header_rejected() {
-        let err = decode(Bytes::from_static(&[1, 2, 3])).unwrap_err();
+        let err = decode(&[1, 2, 3]).unwrap_err();
         assert!(matches!(err, WireError::Truncated { .. }));
     }
 
     #[test]
     fn truncated_payload_rejected() {
-        let mut frame = encode(&sample(TAG_MODEL)).to_vec();
+        let mut frame = encode(&sample(TAG_MODEL));
         frame.truncate(frame.len() - 4);
-        let err = decode(Bytes::from(frame)).unwrap_err();
+        let err = decode(&frame).unwrap_err();
         assert!(matches!(err, WireError::Truncated { .. }));
     }
 
     #[test]
     fn bad_tag_rejected() {
-        let mut frame = encode(&sample(TAG_MODEL)).to_vec();
+        let mut frame = encode(&sample(TAG_MODEL));
         frame[0] = 99;
-        assert_eq!(decode(Bytes::from(frame)).unwrap_err(), WireError::BadTag(99));
+        assert_eq!(decode(&frame).unwrap_err(), WireError::BadTag(99));
     }
 
     #[test]
     fn huge_length_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u8(TAG_MODEL);
-        buf.put_u64_le(0);
-        buf.put_u32_le(u32::MAX);
-        let err = decode(buf.freeze()).unwrap_err();
+        let mut frame = vec![TAG_MODEL];
+        frame.extend_from_slice(&0u64.to_le_bytes());
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode(&frame).unwrap_err();
         assert!(matches!(err, WireError::LengthOutOfRange(_)));
     }
 
@@ -227,7 +264,7 @@ mod tests {
             step: 1,
             grad: Tensor::from_flat(vec![f32::NAN]),
         };
-        let back = decode(encode(&msg)).unwrap();
+        let back = decode(&encode(&msg)).unwrap();
         assert!(back.vector().as_slice()[0].is_nan());
     }
 }

@@ -53,7 +53,13 @@ impl AdversarialSchedule {
     /// Convenience: slow every message *to* `target` by `factor` during
     /// `[start, end)` — "congest the victim's ingress".
     #[must_use]
-    pub fn congest_ingress(self, target: NodeId, start: SimTime, end: SimTime, factor: f64) -> Self {
+    pub fn congest_ingress(
+        self,
+        target: NodeId,
+        start: SimTime,
+        end: SimTime,
+        factor: f64,
+    ) -> Self {
         self.with_rule(DelayRule {
             from: None,
             to: Some(target),
@@ -94,8 +100,8 @@ impl AdversarialSchedule {
     pub fn apply(&self, now: SimTime, from: NodeId, to: NodeId, delay: f64) -> f64 {
         let mut d = delay;
         for rule in &self.rules {
-            let from_ok = rule.from.map_or(true, |f| f == from);
-            let to_ok = rule.to.map_or(true, |t| t == to);
+            let from_ok = rule.from.is_none_or(|f| f == from);
+            let to_ok = rule.to.is_none_or(|t| t == to);
             let window_ok = now >= rule.start && now < rule.end;
             if from_ok && to_ok && window_ok {
                 d = d * rule.factor + rule.extra_secs;
@@ -125,13 +131,24 @@ mod tests {
             10.0,
         );
         // before window
-        assert_eq!(s.apply(SimTime::from_secs_f64(0.5), NodeId(0), NodeId(1), 0.1), 0.1);
+        assert_eq!(
+            s.apply(SimTime::from_secs_f64(0.5), NodeId(0), NodeId(1), 0.1),
+            0.1
+        );
         // inside window
-        assert!((s.apply(SimTime::from_secs_f64(1.5), NodeId(0), NodeId(1), 0.1) - 1.0).abs() < 1e-12);
+        assert!(
+            (s.apply(SimTime::from_secs_f64(1.5), NodeId(0), NodeId(1), 0.1) - 1.0).abs() < 1e-12
+        );
         // after window
-        assert_eq!(s.apply(SimTime::from_secs_f64(2.5), NodeId(0), NodeId(1), 0.1), 0.1);
+        assert_eq!(
+            s.apply(SimTime::from_secs_f64(2.5), NodeId(0), NodeId(1), 0.1),
+            0.1
+        );
         // other receiver unaffected
-        assert_eq!(s.apply(SimTime::from_secs_f64(1.5), NodeId(0), NodeId(2), 0.1), 0.1);
+        assert_eq!(
+            s.apply(SimTime::from_secs_f64(1.5), NodeId(0), NodeId(2), 0.1),
+            0.1
+        );
     }
 
     #[test]

@@ -149,7 +149,10 @@ mod tests {
 
     #[test]
     fn pareto_exceeds_scale() {
-        let m = DelayModel::Pareto { xm: 0.01, alpha: 2.0 };
+        let m = DelayModel::Pareto {
+            xm: 0.01,
+            alpha: 2.0,
+        };
         let mut r = rng();
         for _ in 0..100 {
             assert!(m.sample(0, &mut r) >= 0.01);
@@ -158,7 +161,10 @@ mod tests {
 
     #[test]
     fn pareto_has_heavy_tail() {
-        let m = DelayModel::Pareto { xm: 0.01, alpha: 1.5 };
+        let m = DelayModel::Pareto {
+            xm: 0.01,
+            alpha: 1.5,
+        };
         let mut r = rng();
         let samples: Vec<f64> = (0..10_000).map(|_| m.sample(0, &mut r)).collect();
         let max = samples.iter().cloned().fold(0.0, f64::max);

@@ -12,9 +12,7 @@ use crate::stats::{DeliveryRecord, TrafficStats};
 use crate::time::SimTime;
 
 /// Identifies a node within one simulation (dense indices from 0).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub usize);
 
 impl std::fmt::Display for NodeId {
@@ -320,9 +318,7 @@ impl<M> Simulator<M> {
                 delivered: ev.at,
             });
             delivered += 1;
-            let halted = self.activate(ev.to, |node, ctx| {
-                node.on_message(ev.from, ev.msg, ctx)
-            });
+            let halted = self.activate(ev.to, |node, ctx| node.on_message(ev.from, ev.msg, ctx));
             if halted {
                 break;
             }
@@ -403,10 +399,15 @@ mod tests {
     #[test]
     fn same_seed_same_trace() {
         let run = || {
-            let mut sim = Simulator::new(9, DelayModel::Exponential { mean: 0.01 })
-                .with_tracing();
-            sim.add_node(Box::new(Counter { received: 0, hops: 20 }));
-            sim.add_node(Box::new(Counter { received: 0, hops: 20 }));
+            let mut sim = Simulator::new(9, DelayModel::Exponential { mean: 0.01 }).with_tracing();
+            sim.add_node(Box::new(Counter {
+                received: 0,
+                hops: 20,
+            }));
+            sim.add_node(Box::new(Counter {
+                received: 0,
+                hops: 20,
+            }));
             sim.run();
             sim.stats()
                 .trace
@@ -421,18 +422,29 @@ mod tests {
     fn deadline_stops_early() {
         let mut sim = Simulator::new(1, DelayModel::Fixed { seconds: 1.0 })
             .with_deadline(SimTime::from_secs_f64(2.5));
-        sim.add_node(Box::new(Counter { received: 0, hops: 100 }));
-        sim.add_node(Box::new(Counter { received: 0, hops: 100 }));
+        sim.add_node(Box::new(Counter {
+            received: 0,
+            hops: 100,
+        }));
+        sim.add_node(Box::new(Counter {
+            received: 0,
+            hops: 100,
+        }));
         let delivered = sim.run();
         assert_eq!(delivered, 2, "only events at t=1 and t=2 fit");
     }
 
     #[test]
     fn max_events_budget() {
-        let mut sim =
-            Simulator::new(1, DelayModel::Fixed { seconds: 0.001 }).with_max_events(3);
-        sim.add_node(Box::new(Counter { received: 0, hops: 100 }));
-        sim.add_node(Box::new(Counter { received: 0, hops: 100 }));
+        let mut sim = Simulator::new(1, DelayModel::Fixed { seconds: 0.001 }).with_max_events(3);
+        sim.add_node(Box::new(Counter {
+            received: 0,
+            hops: 100,
+        }));
+        sim.add_node(Box::new(Counter {
+            received: 0,
+            hops: 100,
+        }));
         assert_eq!(sim.run(), 3);
     }
 
@@ -560,8 +572,14 @@ mod tests {
     #[test]
     fn stats_count_messages_and_bytes() {
         let mut sim = Simulator::new(1, DelayModel::Fixed { seconds: 0.01 });
-        sim.add_node(Box::new(Counter { received: 0, hops: 4 }));
-        sim.add_node(Box::new(Counter { received: 0, hops: 4 }));
+        sim.add_node(Box::new(Counter {
+            received: 0,
+            hops: 4,
+        }));
+        sim.add_node(Box::new(Counter {
+            received: 0,
+            hops: 4,
+        }));
         sim.run();
         let s = sim.stats();
         assert_eq!(s.messages_sent, 5);

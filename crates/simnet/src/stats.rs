@@ -95,7 +95,11 @@ impl TrafficStats {
         if self.trace.is_empty() {
             return 0.0;
         }
-        self.trace.iter().map(DeliveryRecord::latency_secs).sum::<f64>() / self.trace.len() as f64
+        self.trace
+            .iter()
+            .map(DeliveryRecord::latency_secs)
+            .sum::<f64>()
+            / self.trace.len() as f64
     }
 }
 

@@ -102,7 +102,11 @@ impl Tensor {
         if self.is_empty() {
             return Err(TensorError::Empty);
         }
-        Ok(self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max))
+        Ok(self
+            .as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max))
     }
 
     /// Minimum element.
@@ -114,7 +118,11 @@ impl Tensor {
         if self.is_empty() {
             return Err(TensorError::Empty);
         }
-        Ok(self.as_slice().iter().copied().fold(f32::INFINITY, f32::min))
+        Ok(self
+            .as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min))
     }
 
     /// Index of the maximum element in the flat buffer (first on ties).
@@ -272,7 +280,10 @@ mod tests {
             Err(TensorError::MatmulDimMismatch { .. })
         ));
         let v = Tensor::from_flat(vec![1.0]);
-        assert!(matches!(v.matmul(&a), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            v.matmul(&a),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,26 +1,138 @@
 //! Seeded random tensor generation.
 //!
 //! All stochasticity in the reproduction flows through [`TensorRng`], a thin
-//! wrapper over ChaCha8 keyed by an explicit `u64` seed. Every experiment
-//! binary takes a seed, so every figure in EXPERIMENTS.md is bit-for-bit
-//! reproducible.
-
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+//! wrapper over an in-crate ChaCha8 block cipher keyed by an explicit `u64`
+//! seed (the build environment has no crates.io access, so the usual
+//! `rand_chacha` dependency is replaced by ~60 lines of ChaCha). Every
+//! experiment binary takes a seed, so every figure in EXPERIMENTS.md is
+//! bit-for-bit reproducible.
 
 use crate::Tensor;
+
+/// One round of splitmix64 — used only to expand the `u64` seed into a
+/// 256-bit ChaCha key.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// ChaCha with 8 rounds: the statistically-strong, fast PRNG core.
+#[derive(Debug, Clone)]
+struct ChaCha8 {
+    key: [u32; 8],
+    /// Stream id (the ChaCha nonce): distinct streams under one key are
+    /// independent, which is what [`TensorRng::fork`] relies on.
+    stream: u64,
+    counter: u64,
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 = exhausted.
+    idx: usize,
+}
+
+impl ChaCha8 {
+    fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let mut key = [0u32; 8];
+        for i in 0..4 {
+            let x = splitmix64(&mut s);
+            key[2 * i] = x as u32;
+            key[2 * i + 1] = (x >> 32) as u32;
+        }
+        ChaCha8 {
+            key,
+            stream: 0,
+            counter: 0,
+            block: [0; 16],
+            idx: 16,
+        }
+    }
+
+    fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.idx = 16;
+    }
+
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646E,
+            0x7962_2D32,
+            0x6B20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let mut w = state;
+        for _ in 0..4 {
+            // Column round.
+            Self::quarter_round(&mut w, 0, 4, 8, 12);
+            Self::quarter_round(&mut w, 1, 5, 9, 13);
+            Self::quarter_round(&mut w, 2, 6, 10, 14);
+            Self::quarter_round(&mut w, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut w, 0, 5, 10, 15);
+            Self::quarter_round(&mut w, 1, 6, 11, 12);
+            Self::quarter_round(&mut w, 2, 7, 8, 13);
+            Self::quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (out, (&mixed, &initial)) in self.block.iter_mut().zip(w.iter().zip(state.iter())) {
+            *out = mixed.wrapping_add(initial);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.idx == 16 {
+            self.refill();
+        }
+        let v = self.block[self.idx];
+        self.idx += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+}
 
 /// A deterministic random source for tensors.
 #[derive(Debug, Clone)]
 pub struct TensorRng {
-    rng: ChaCha8Rng,
+    rng: ChaCha8,
 }
 
 impl TensorRng {
     /// Creates a generator from a seed. Equal seeds yield equal streams.
     pub fn new(seed: u64) -> Self {
         TensorRng {
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            rng: ChaCha8::new(seed),
         }
     }
 
@@ -28,29 +140,42 @@ impl TensorRng {
     /// simulation its own stream so that adding a node does not perturb the
     /// draws of the others.
     pub fn fork(&mut self, stream: u64) -> Self {
-        let mut child = ChaCha8Rng::seed_from_u64(self.rng.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let seed = self.rng.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut child = ChaCha8::new(seed);
         child.set_stream(stream);
         TensorRng { rng: child }
     }
 
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    fn unit(&mut self) -> f64 {
+        (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
     /// A uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        self.rng.gen_range(lo..hi)
+        let v = (f64::from(lo) + self.unit() * (f64::from(hi) - f64::from(lo))) as f32;
+        // Guard the (rare) upward rounding onto the excluded bound.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
     }
 
     /// A standard-normal sample (Box–Muller).
     pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
         // Box–Muller transform; one sample per call keeps the stream simple
         // and deterministic.
-        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let u1: f64 = f64::EPSILON + self.unit() * (1.0 - f64::EPSILON);
+        let u2: f64 = self.unit();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         mean + std * z as f32
     }
 
     /// A uniform integer in `[0, n)`.
     pub fn below(&mut self, n: usize) -> usize {
-        self.rng.gen_range(0..n)
+        assert!(n > 0, "below(0) is an empty range");
+        (self.rng.next_u64() % n as u64) as usize
     }
 
     /// A uniform `u64`.
@@ -86,7 +211,7 @@ impl TensorRng {
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.below(i + 1);
             xs.swap(i, j);
         }
     }
@@ -138,6 +263,16 @@ mod tests {
         let xs: Vec<u64> = (0..8).map(|_| fa.next_u64()).collect();
         let ys: Vec<u64> = (0..8).map(|_| fc.next_u64()).collect();
         assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn chacha_blocks_are_not_degenerate() {
+        // Consecutive words of one stream must not repeat trivially, and
+        // streams under the same key must diverge.
+        let mut r = TensorRng::new(0);
+        let words: Vec<u64> = (0..64).map(|_| r.next_u64()).collect();
+        let distinct: std::collections::HashSet<_> = words.iter().collect();
+        assert_eq!(distinct.len(), words.len());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The dense tensor type and its core arithmetic.
 
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use crate::{Result, Shape, TensorError};
 
@@ -11,12 +11,31 @@ use crate::{Result, Shape, TensorError};
 /// tensors. Parameter vectors and gradients are rank-1 tensors of dimension
 /// `d` (1.75M for the paper's CNN).
 ///
-/// Cloning is `O(volume)`; the protocol code clones deliberately at
-/// "network" boundaries to model message copies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// # Storage
+///
+/// The flat buffer is an `Arc<[f32]>` with copy-on-write mutation:
+///
+/// * **Cloning is `O(1)`** — a reference-count bump. Broadcasting one model
+///   to `n` workers therefore shares a single allocation instead of copying
+///   `n · d` floats, which is what makes the per-round fan-out in the
+///   protocol engines zero-copy.
+/// * **Mutation is copy-on-write** — the first in-place operation on a
+///   tensor whose buffer is shared detaches it onto a private copy;
+///   uniquely-owned tensors mutate in place with no copy at all.
+///
+/// Use [`Tensor::shares_storage`] to observe sharing (the zero-copy tests
+/// rely on it).
+#[derive(Debug, Clone)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Arc<[f32]>,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape
+            && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
+    }
 }
 
 impl Tensor {
@@ -34,19 +53,25 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor {
+            shape,
+            data: data.into(),
+        })
     }
 
     /// Creates a rank-1 tensor from a flat buffer.
     pub fn from_flat(data: Vec<f32>) -> Self {
         let shape = Shape::new(&[data.len()]);
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data: data.into(),
+        }
     }
 
     /// A tensor filled with zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        let data = vec![0.0; shape.volume()];
+        let data = vec![0.0; shape.volume()].into();
         Tensor { shape, data }
     }
 
@@ -58,24 +83,27 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        let data = vec![value; shape.volume()];
+        let data = vec![value; shape.volume()].into();
         Tensor { shape, data }
     }
 
     /// The `n`×`n` identity matrix.
     pub fn eye(n: usize) -> Self {
-        let mut t = Tensor::zeros(&[n, n]);
+        let mut data = vec![0.0f32; n * n];
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            data[i * n + i] = 1.0;
         }
-        t
+        Tensor {
+            shape: Shape::new(&[n, n]),
+            data: data.into(),
+        }
     }
 
     /// A scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
         Tensor {
             shape: Shape::scalar(),
-            data: vec![value],
+            data: vec![value].into(),
         }
     }
 
@@ -110,13 +138,29 @@ impl Tensor {
     }
 
     /// Mutable view of the flat row-major buffer.
+    ///
+    /// Copy-on-write: detaches this tensor onto a private buffer first if
+    /// the storage is currently shared with other clones.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        if Arc::get_mut(&mut self.data).is_none() {
+            self.data = Arc::from(&self.data[..]);
+        }
+        Arc::get_mut(&mut self.data).expect("buffer is uniquely owned after detach")
+    }
+
+    /// Whether `self` and `other` share the same underlying buffer (clones
+    /// that have not diverged do; this is what "zero-copy broadcast" means).
+    pub fn shares_storage(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 
     /// Consumes the tensor, returning the flat buffer.
+    ///
+    /// Always copies: a `Vec` cannot take ownership of an `Arc<[f32]>`
+    /// allocation (the Arc header precedes the elements), even when the
+    /// tensor is the last clone. Prefer [`Tensor::as_slice`] on hot paths.
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.to_vec()
     }
 
     /// Element at a multi-dimensional index.
@@ -135,11 +179,12 @@ impl Tensor {
     /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
     pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
         let off = self.shape.offset(index)?;
-        self.data[off] = value;
+        self.as_mut_slice()[off] = value;
         Ok(())
     }
 
-    /// Returns a tensor with the same data and a new shape.
+    /// Returns a tensor with a new shape **sharing this tensor's storage**
+    /// (reshaping is metadata-only).
     ///
     /// # Errors
     ///
@@ -154,15 +199,15 @@ impl Tensor {
         }
         Ok(Tensor {
             shape,
-            data: self.data.clone(),
+            data: Arc::clone(&self.data),
         })
     }
 
-    /// Flattens to a rank-1 tensor.
+    /// Flattens to a rank-1 tensor sharing this tensor's storage.
     pub fn flatten(&self) -> Self {
         Tensor {
             shape: Shape::new(&[self.data.len()]),
-            data: self.data.clone(),
+            data: Arc::clone(&self.data),
         }
     }
 
@@ -219,15 +264,15 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn zip_with<F: Fn(f32, f32) -> f32>(&self, other: &Self, f: F) -> Result<Self> {
         self.check_same_shape(other)?;
-        let data = self
+        let data: Vec<f32> = self
             .data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
         Ok(Tensor {
             shape: self.shape.clone(),
-            data,
+            data: data.into(),
         })
     }
 
@@ -238,7 +283,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn add_assign(&mut self, other: &Self) -> Result<()> {
         self.check_same_shape(other)?;
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.data.iter()) {
             *a += b;
         }
         Ok(())
@@ -251,7 +296,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn axpy(&mut self, alpha: f32, other: &Self) -> Result<()> {
         self.check_same_shape(other)?;
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
         Ok(())
@@ -259,15 +304,16 @@ impl Tensor {
 
     /// Applies a unary function element-wise, returning a new tensor.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Self {
+        let data: Vec<f32> = self.data.iter().map(|&a| f(a)).collect();
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&a| f(a)).collect(),
+            data: data.into(),
         }
     }
 
     /// Applies a unary function element-wise in place.
     pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
-        for a in &mut self.data {
+        for a in self.as_mut_slice() {
             *a = f(*a);
         }
     }
@@ -294,6 +340,42 @@ impl Tensor {
     /// the coordinate-wise median.
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|a| a.is_finite())
+    }
+}
+
+impl serde::Serialize for Tensor {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "shape".to_owned(),
+                serde::Serialize::serialize_value(&self.shape),
+            ),
+            (
+                "data".to_owned(),
+                serde::Serialize::serialize_value(&self.data[..]),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for Tensor {
+    fn deserialize_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::expected("object", "Tensor"))?;
+        let shape: Shape = serde::Deserialize::deserialize_value(serde::get_field(obj, "shape")?)?;
+        let data: Vec<f32> = serde::Deserialize::deserialize_value(serde::get_field(obj, "data")?)?;
+        if shape.volume() != data.len() {
+            return Err(serde::DeError::msg(format!(
+                "tensor data length {} does not match shape volume {}",
+                data.len(),
+                shape.volume()
+            )));
+        }
+        Ok(Tensor {
+            shape,
+            data: data.into(),
+        })
     }
 }
 
@@ -355,10 +437,7 @@ mod tests {
     fn binary_ops_reject_shape_mismatch() {
         let a = Tensor::zeros(&[2, 2]);
         let b = Tensor::zeros(&[4]);
-        assert!(matches!(
-            a.add(&b),
-            Err(TensorError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { .. })));
     }
 
     #[test]
@@ -367,6 +446,17 @@ mod tests {
         let g = Tensor::from_flat(vec![2.0, 4.0]);
         a.axpy(-0.5, &g).unwrap();
         assert_eq!(a.as_slice(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn axpy_on_self_alias_is_safe() {
+        // `self += alpha * self` through a clone sharing the same buffer:
+        // the copy-on-write detach must snapshot the right-hand side first.
+        let mut a = Tensor::from_flat(vec![1.0, 2.0]);
+        let alias = a.clone();
+        a.axpy(1.0, &alias).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 4.0]);
+        assert_eq!(alias.as_slice(), &[1.0, 2.0]);
     }
 
     #[test]
@@ -392,6 +482,32 @@ mod tests {
     }
 
     #[test]
+    fn clone_shares_storage_until_mutation() {
+        let a = Tensor::from_flat(vec![1.0, 2.0, 3.0]);
+        let b = a.clone();
+        assert!(a.shares_storage(&b), "clone must be a refcount bump");
+        let c = a.reshape(&[3]).unwrap();
+        assert!(a.shares_storage(&c), "reshape must share storage");
+        assert!(a.shares_storage(&a.flatten()));
+
+        // First mutation detaches the mutated clone only.
+        let mut d = a.clone();
+        d.set(&[0], 9.0).unwrap();
+        assert!(!a.shares_storage(&d), "mutation must copy-on-write");
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(d.as_slice(), &[9.0, 2.0, 3.0]);
+        assert!(a.shares_storage(&b), "other clones keep sharing");
+    }
+
+    #[test]
+    fn unique_tensor_mutates_without_detach() {
+        let mut a = Tensor::from_flat(vec![1.0, 2.0]);
+        let before = a.as_slice().as_ptr();
+        a.map_inplace(|x| x + 1.0);
+        assert_eq!(a.as_slice().as_ptr(), before, "no copy when uniquely owned");
+    }
+
+    #[test]
     fn is_finite_detects_nan_and_inf() {
         let ok = Tensor::from_flat(vec![1.0, 2.0]);
         assert!(ok.is_finite());
@@ -407,6 +523,12 @@ mod tests {
         let json = serde_json::to_string(&a).unwrap();
         let back: Tensor = serde_json::from_str(&json).unwrap();
         assert_eq!(a, back);
+    }
+
+    #[test]
+    fn serde_rejects_inconsistent_shape() {
+        let bad = r#"{"shape":[3],"data":[1.0,2.0]}"#;
+        assert!(serde_json::from_str::<Tensor>(bad).is_err());
     }
 
     #[test]

@@ -52,7 +52,9 @@ fn run(label: &str, schedule: AdversarialSchedule) {
     let delivered = sim.run();
 
     let rec = recorder.borrow();
-    let last_step_at = rec.step_finished_at(cfg.max_steps - 1).expect("all steps finish");
+    let last_step_at = rec
+        .step_finished_at(cfg.max_steps - 1)
+        .expect("all steps finish");
     println!("== {label} ==");
     println!(
         "  {} messages delivered | {} honest-server updates | last step done at {}",

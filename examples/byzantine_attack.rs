@@ -44,7 +44,10 @@ fn main() {
     );
 
     println!("\naccuracy trajectories (per evaluation point):");
-    println!("{:>8} {:>16} {:>16}", "step", "vanilla (1 byz)", "GuanYu (6 byz)");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "step", "vanilla (1 byz)", "GuanYu (6 byz)"
+    );
     for (rv, rg) in v.records.iter().zip(&g.records) {
         println!("{:>8} {:>16.4} {:>16.4}", rv.step, rv.accuracy, rg.accuracy);
     }

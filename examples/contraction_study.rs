@@ -20,7 +20,11 @@ fn main() {
         cfg.steps = steps;
         cfg.disable_exchange = disable;
         let mut trainer = build_trainer(SystemKind::GuanYu, &cfg).expect("trainer");
-        let out = if disable { &mut without_exchange } else { &mut with_exchange };
+        let out = if disable {
+            &mut without_exchange
+        } else {
+            &mut with_exchange
+        };
         for s in 1..=steps {
             trainer.step().expect("step");
             if s % 10 == 0 {
@@ -31,7 +35,10 @@ fn main() {
         }
         if !disable {
             println!("Table-2-style alignment snapshots (exchange ON):");
-            println!("{:>8} {:>12} {:>12} {:>12}", "step", "cos(phi)", "max diff1", "max diff2");
+            println!(
+                "{:>8} {:>12} {:>12} {:>12}",
+                "step", "cos(phi)", "max diff1", "max diff2"
+            );
             for r in trainer.alignment_records() {
                 println!(
                     "{:>8} {:>12.6} {:>12.6} {:>12.6}",

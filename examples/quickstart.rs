@@ -17,10 +17,7 @@ fn main() {
     println!("GuanYu quickstart");
     println!(
         "cluster: {} servers ({} declared Byzantine), {} workers ({} declared Byzantine)",
-        cfg.cluster.servers,
-        cfg.cluster.byz_servers,
-        cfg.cluster.workers,
-        cfg.cluster.byz_workers
+        cfg.cluster.servers, cfg.cluster.byz_servers, cfg.cluster.workers, cfg.cluster.byz_workers
     );
     println!(
         "quorums: q = {} (median over models), q̄ = {} (Multi-Krum over gradients)\n",
@@ -29,7 +26,10 @@ fn main() {
 
     let result = run(SystemKind::GuanYu, &cfg).expect("training run");
 
-    println!("{:>8} {:>12} {:>10} {:>10}", "step", "time (s)", "accuracy", "loss");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10}",
+        "step", "time (s)", "accuracy", "loss"
+    );
     for r in &result.records {
         println!(
             "{:>8} {:>12.3} {:>10.4} {:>10.4}",

@@ -36,8 +36,8 @@ fn main() {
         "deploying {} server threads + {} worker threads ({} Byzantine)...",
         cfg.cluster.servers, cfg.cluster.workers, cfg.actual_byz_workers
     );
-    let report = run_cluster(&cfg, |rng| models::small_cnn(8, 8, 10, rng), train)
-        .expect("threaded run");
+    let report =
+        run_cluster(&cfg, |rng| models::small_cnn(8, 8, 10, rng), train).expect("threaded run");
 
     println!(
         "completed {} updates in {:.2}s wall ({:.1} updates/s)",
@@ -59,7 +59,10 @@ fn main() {
         let mut rng = tensor::TensorRng::new(99);
         models::small_cnn(8, 8, 10, &mut rng)
     };
-    let (acc, loss) =
-        guanyu::metrics::evaluate(&mut eval_model, &global, &test, 64).expect("eval");
-    println!("global model after {} steps: accuracy {:.1}%, loss {loss:.3}", cfg.max_steps, acc * 100.0);
+    let (acc, loss) = guanyu::metrics::evaluate(&mut eval_model, &global, &test, 64).expect("eval");
+    println!(
+        "global model after {} steps: accuracy {:.1}%, loss {loss:.3}",
+        cfg.max_steps,
+        acc * 100.0
+    );
 }

@@ -34,10 +34,14 @@ fn guanyu_learns_the_synthetic_task() {
 fn all_three_systems_converge_to_similar_accuracy() {
     // Paper Fig. 3(a): same convergence per *step* across systems.
     let cfg = tiny(60, 2);
-    let accs: Vec<f32> = [SystemKind::VanillaTf, SystemKind::VanillaGuanYu, SystemKind::GuanYu]
-        .iter()
-        .map(|&s| run(s, &cfg).unwrap().best_accuracy())
-        .collect();
+    let accs: Vec<f32> = [
+        SystemKind::VanillaTf,
+        SystemKind::VanillaGuanYu,
+        SystemKind::GuanYu,
+    ]
+    .iter()
+    .map(|&s| run(s, &cfg).unwrap().best_accuracy())
+    .collect();
     for pair in accs.windows(2) {
         assert!(
             (pair[0] - pair[1]).abs() < 0.25,

@@ -75,8 +75,7 @@ fn run_event_driven(test: &Dataset) -> f32 {
         actual_byz_servers: 0,
         server_attack: None,
     };
-    let (mut sim, rec) =
-        build_simulation(&cfg, builder, train, 5, DelayModel::grid5000()).unwrap();
+    let (mut sim, rec) = build_simulation(&cfg, builder, train, 5, DelayModel::grid5000()).unwrap();
     sim.run();
     let params = rec.borrow().final_params();
     eval_accuracy(&params, test)

@@ -29,7 +29,10 @@ fn guanyu_survives_every_worker_attack() {
         AttackKind::Mute,
         AttackKind::Reversed { factor: 5.0 },
         AttackKind::Equivocate { scale: 50.0 },
-        AttackKind::StaleReplay { lag: 3, factor: 5.0 },
+        AttackKind::StaleReplay {
+            lag: 3,
+            factor: 5.0,
+        },
     ];
     for attack in attacks {
         let mut c = cfg(10);
