@@ -58,9 +58,11 @@ pub mod contraction;
 pub mod cost;
 pub mod error;
 pub mod experiment;
+pub mod faults;
 pub mod lockstep;
 pub mod metrics;
 pub mod protocol;
+pub mod trace;
 
 pub use config::ClusterConfig;
 pub use error::GuanYuError;

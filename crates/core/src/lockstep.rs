@@ -34,7 +34,9 @@ use crate::checkpoint::Checkpoint;
 use crate::config::ClusterConfig;
 use crate::contraction::{alignment_snapshot, AlignmentRecord};
 use crate::cost::CostModel;
+use crate::faults::FaultSchedule;
 use crate::metrics::{evaluate, RunResult, TrainingRecord};
+use crate::trace::{DigestHasher, RoundDigest, Trace};
 use crate::{GuanYuError, Result};
 
 /// Full configuration of one lockstep run.
@@ -75,6 +77,14 @@ pub struct LockstepConfig {
     /// paper's setting is [`Partition::Iid`]; the non-IID variants stress
     /// the proof's assumption 3 (see the `noniid` experiment binary).
     pub partition: Partition,
+    /// Round-indexed fault schedule: crash/recovery, server partitions,
+    /// delay spikes, straggler bursts, attack onset/offset windows
+    /// (DESIGN.md §6). Empty = the fault-free environment of Fig. 3.
+    pub faults: FaultSchedule,
+    /// Record a per-round [`Trace`] digest (model hashes, quorum
+    /// compositions, message counts). Costs one hash pass over the server
+    /// parameters per round; off by default.
+    pub trace_enabled: bool,
 }
 
 impl LockstepConfig {
@@ -97,6 +107,8 @@ impl LockstepConfig {
             cost: CostModel::guanyu(),
             alignment_every: 20,
             partition: Partition::Iid,
+            faults: FaultSchedule::none(),
+            trace_enabled: false,
         }
     }
 
@@ -124,6 +136,8 @@ impl LockstepConfig {
             },
             alignment_every: 0,
             partition: Partition::Iid,
+            faults: FaultSchedule::none(),
+            trace_enabled: false,
         }
     }
 }
@@ -155,6 +169,7 @@ pub struct LockstepTrainer {
     step: u64,
     sim_time: f64,
     alignment: Vec<AlignmentRecord>,
+    trace: Trace,
     dim: usize,
     diverged: bool,
     last_phase_time: f64,
@@ -266,6 +281,7 @@ impl LockstepTrainer {
             step: 0,
             sim_time: 0.0,
             alignment: Vec::new(),
+            trace: Trace::new(),
             dim,
             diverged: false,
             last_phase_time: 0.0,
@@ -316,6 +332,12 @@ impl LockstepTrainer {
         &self.alignment
     }
 
+    /// The per-round digest trace (empty unless
+    /// [`LockstepConfig::trace_enabled`]).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
     /// Snapshots the run into a durable [`Checkpoint`].
     ///
     /// # Errors
@@ -360,21 +382,73 @@ impl LockstepTrainer {
         Ok(())
     }
 
-    /// `k` smallest of the sampled honest delays plus the time the quorum
-    /// completes (the k-th order statistic).
-    fn quorum_delays(&mut self, senders: usize, k: usize, bytes: usize) -> (Vec<usize>, f64) {
-        let mut delays: Vec<(f64, usize)> = (0..senders)
-            .map(|i| (self.cfg.delay.sample(bytes, &mut self.rng), i))
+    /// `k` earliest of the listed senders under the sampled delays, plus
+    /// the time the quorum completes (the k-th order statistic). Delays
+    /// are stretched by the round's [`FaultSchedule::delay_stretch`]
+    /// (`factor`, `extra`) and each sender's `per_sender` extra (straggler
+    /// bursts) before ordering, so environmental faults reorder quorums
+    /// exactly as they would reorder arrivals. Returns *sender ids*, not
+    /// positions.
+    fn quorum_delays(
+        &mut self,
+        senders: &[usize],
+        k: usize,
+        bytes: usize,
+        stretch: (f64, f64),
+        per_sender: impl Fn(usize) -> f64,
+    ) -> (Vec<usize>, f64) {
+        let (factor, extra) = stretch;
+        let mut delays: Vec<(f64, usize)> = senders
+            .iter()
+            .map(|&id| {
+                let physical = self.cfg.delay.sample(bytes, &mut self.rng);
+                (physical * factor + extra + per_sender(id), id)
+            })
             .collect();
-        delays.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite delays"));
-        let k = k.min(senders);
+        delays.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let k = k.min(senders.len());
         let selected: Vec<usize> = delays[..k].iter().map(|&(_, i)| i).collect();
         let completion = delays.get(k.saturating_sub(1)).map_or(0.0, |&(d, _)| d);
         (selected, completion)
     }
 
+    /// Hashes the current honest-server state into the trace, closing the
+    /// round that just incremented `self.step`.
+    fn record_round_digest(&mut self, quorum_hash: u64, messages: u64) {
+        let mut mh = DigestHasher::new();
+        for p in &self.server_params {
+            mh.write_tensor(p);
+        }
+        self.trace.push(RoundDigest {
+            step: self.step.saturating_sub(1),
+            model_hash: mh.finish(),
+            quorum_hash,
+            messages,
+        });
+    }
+
+    /// Whether a fault-degraded quorum would hand the fold to the
+    /// adversary. The real protocol never folds fewer than `q ≥ 2f + 3`
+    /// messages, so forgeries are always a strict minority; when faults
+    /// shrink the reachable honest set below that structure, a receiver
+    /// refuses any multiset in which forgeries are not outnumbered (every
+    /// robust rule's breakdown point is 1/2) and sits the phase out —
+    /// exactly like a receiver whose quorum never fills.
+    fn fold_unsafe(honest: usize, forged: usize) -> bool {
+        honest == 0 || forged * 2 >= honest + forged
+    }
+
     /// Runs one full protocol step (all three phases). Advances the
     /// simulated clock by the round's critical path.
+    ///
+    /// Faults scheduled for this round ([`LockstepConfig::faults`]) apply
+    /// throughout: crashed nodes neither send nor update (their state
+    /// freezes until recovery), partitions cut honest exchange links,
+    /// delay spikes and straggler bursts reorder quorums, and attack
+    /// windows gate the configured forgeries (outside a window the
+    /// Byzantine nodes stay mute). Environmental faults never touch the
+    /// adversary's covert channel: forgeries always arrive — the paper's
+    /// worst case.
     ///
     /// # Errors
     ///
@@ -387,20 +461,46 @@ impl LockstepTrainer {
             self.diverged = true;
             self.step += 1;
             self.sim_time += self.last_phase_time.max(1e-6);
+            if self.cfg.trace_enabled {
+                self.record_round_digest(0, 0);
+            }
             return Ok(());
         }
         let cfg = self.cfg.clone();
+        let fs = &cfg.faults;
+        let t = self.step;
+        let tracing = cfg.trace_enabled;
+        let stretch = fs.delay_stretch(t);
         let d = self.dim;
         let bytes = CostModel::message_bytes(d);
         let mut phase_time = 0.0f64;
+        let mut quorum_h = DigestHasher::new();
+        let mut messages = 0u64;
+
+        let n_honest_srv = self.server_params.len();
+        let n_honest_wrk = self.workers.len();
+        let up_servers: Vec<usize> = (0..n_honest_srv)
+            .filter(|&s| !fs.server_down(t, s))
+            .collect();
+        let up_workers: Vec<usize> = (0..n_honest_wrk)
+            .filter(|&w| !fs.worker_down(t, w))
+            .collect();
+        let byz_srv = if fs.server_attack_active(t) {
+            cfg.actual_byz_servers
+        } else {
+            0
+        };
+        let byz_wrk = if fs.worker_attack_active(t) {
+            cfg.actual_byz_workers
+        } else {
+            0
+        };
 
         // ---- Phase 1: servers broadcast models; workers fold with M. ----
         let q_model = cfg.cluster.server_quorum;
-        let n_honest_srv = self.server_params.len();
-        let byz_srv = self.cfg.actual_byz_servers;
-        let mut worker_views: Vec<Tensor> = Vec::with_capacity(self.workers.len());
+        let mut worker_views: Vec<Option<Tensor>> = vec![None; n_honest_wrk];
         let mut worst_quorum_time = 0.0f64;
-        for w in 0..self.workers.len() {
+        for &w in &up_workers {
             // Byzantine servers' messages arrive instantly (covert network)
             // and are always inside the quorum: the worst case. A mute
             // attacker contributes nothing, so the quorum fills with honest
@@ -409,15 +509,28 @@ impl LockstepTrainer {
             if byz_srv > 0 {
                 let honest_ref = self.server_params.clone();
                 for attack in &mut self.server_attacks {
-                    let view = AttackView::new(&honest_ref, self.step, w);
+                    let view = AttackView::new(&honest_ref, t, w);
                     if let Some(forged) = attack.forge(&view) {
                         forged_msgs.push(forged);
                     }
                 }
             }
-            let honest_needed = q_model.saturating_sub(forged_msgs.len()).min(n_honest_srv);
-            let (selected, completion) = self.quorum_delays(n_honest_srv, honest_needed, bytes);
+            let honest_needed = q_model
+                .saturating_sub(forged_msgs.len())
+                .min(up_servers.len());
+            let (selected, completion) =
+                self.quorum_delays(&up_servers, honest_needed, bytes, stretch, |_| 0.0);
             worst_quorum_time = worst_quorum_time.max(completion);
+            if tracing {
+                quorum_h.write_indices(&selected);
+                quorum_h.write_u64(forged_msgs.len() as u64);
+                messages += (selected.len() + forged_msgs.len()) as u64;
+            }
+            if Self::fold_unsafe(selected.len(), forged_msgs.len()) {
+                // Isolated (every server crashed) or attacker-dominated
+                // quorum: the worker sits this round out.
+                continue;
+            }
             let mut received: Vec<Tensor> = selected
                 .iter()
                 .map(|&i| self.server_params[i].clone())
@@ -432,7 +545,7 @@ impl LockstepTrainer {
                     .cloned()
                     .ok_or_else(|| GuanYuError::InvalidConfig("no server model".into()))?
             };
-            worker_views.push(view);
+            worker_views[w] = Some(view);
         }
         phase_time += worst_quorum_time;
         if cfg.robust_worker_fold {
@@ -442,11 +555,15 @@ impl LockstepTrainer {
         }
 
         // ---- Phase 2: workers compute gradients; servers fold with F. ----
-        let lr = cfg.lr.at(self.step);
-        let mut honest_grads: Vec<Tensor> = Vec::with_capacity(self.workers.len());
-        for (w, view) in worker_views.iter().enumerate() {
+        let lr = cfg.lr.at(t);
+        let mut honest_grads: Vec<Tensor> = Vec::with_capacity(up_workers.len());
+        let mut grad_senders: Vec<usize> = Vec::with_capacity(up_workers.len());
+        for (w, slot) in worker_views.iter_mut().enumerate() {
+            let Some(view) = slot.take() else {
+                continue; // crashed or isolated this round
+            };
             let worker = &mut self.workers[w];
-            worker.model.set_param_vector(view)?;
+            worker.model.set_param_vector(&view)?;
             worker.model.zero_grads();
             let (x, labels) = worker.batcher.next_batch(&worker.shard)?;
             let logits = worker.model.forward(&x, true)?;
@@ -459,30 +576,56 @@ impl LockstepTrainer {
                 self.diverged = true;
                 self.step += 1;
                 self.sim_time += self.last_phase_time.max(1e-6);
+                if tracing {
+                    self.record_round_digest(0, 0);
+                }
                 return Ok(());
             }
             honest_grads.push(g);
+            grad_senders.push(w);
         }
         phase_time += cfg.cost.gradient_secs(cfg.batch_size, d) + cfg.cost.convert_secs(d);
 
         let q_grad = cfg.cluster.worker_quorum;
-        let byz_wrk = cfg.actual_byz_workers;
-        let n_honest_wrk = self.workers.len();
+        let grad_positions: Vec<usize> = (0..honest_grads.len()).collect();
         let mut new_params: Vec<Tensor> = Vec::with_capacity(n_honest_srv);
         let mut worst_grad_quorum = 0.0f64;
         for s in 0..n_honest_srv {
+            if fs.server_down(t, s) {
+                // Crashed server: parameters freeze until recovery.
+                new_params.push(self.server_params[s].clone());
+                continue;
+            }
             let mut forged_msgs: Vec<Tensor> = Vec::new();
-            if byz_wrk > 0 {
+            if byz_wrk > 0 && !honest_grads.is_empty() {
                 for attack in &mut self.worker_attacks {
-                    let view = AttackView::new(&honest_grads, self.step, s);
+                    let view = AttackView::new(&honest_grads, t, s);
                     if let Some(forged) = attack.forge(&view) {
                         forged_msgs.push(forged);
                     }
                 }
             }
-            let honest_needed = q_grad.saturating_sub(forged_msgs.len()).min(n_honest_wrk);
-            let (selected, completion) = self.quorum_delays(n_honest_wrk, honest_needed, bytes);
+            let honest_needed = q_grad
+                .saturating_sub(forged_msgs.len())
+                .min(honest_grads.len());
+            let (selected, completion) =
+                self.quorum_delays(&grad_positions, honest_needed, bytes, stretch, |pos| {
+                    fs.straggler_extra(t, grad_senders[pos])
+                });
             worst_grad_quorum = worst_grad_quorum.max(completion);
+            if tracing {
+                let sel_workers: Vec<usize> = selected.iter().map(|&p| grad_senders[p]).collect();
+                quorum_h.write_indices(&sel_workers);
+                quorum_h.write_u64(forged_msgs.len() as u64);
+                messages += (selected.len() + forged_msgs.len()) as u64;
+            }
+            if Self::fold_unsafe(selected.len(), forged_msgs.len()) {
+                // No honest gradient reached this server (all workers
+                // down) or forgeries dominate the degraded quorum: the
+                // round is a no-op for it.
+                new_params.push(self.server_params[s].clone());
+                continue;
+            }
             let mut received: Vec<Tensor> =
                 selected.iter().map(|&i| honest_grads[i].clone()).collect();
             received.extend(forged_msgs);
@@ -508,27 +651,48 @@ impl LockstepTrainer {
             let mut folded: Vec<Tensor> = Vec::with_capacity(n_honest_srv);
             let mut worst_exchange = 0.0f64;
             for s in 0..n_honest_srv {
+                if fs.server_down(t, s) {
+                    folded.push(new_params[s].clone());
+                    continue;
+                }
                 // A server's own model is available instantly; it waits for
                 // q − 1 more (minus the always-first Byzantine ones; mute
                 // Byzantine servers are replaced by more honest peers).
                 let mut forged_msgs: Vec<Tensor> = Vec::new();
                 if byz_srv > 0 {
                     for attack in &mut self.server_attacks {
-                        let view = AttackView::new(&new_params, self.step, s);
+                        let view = AttackView::new(&new_params, t, s);
                         if let Some(forged) = attack.forge(&view) {
                             forged_msgs.push(forged);
                         }
                     }
                 }
+                // Reachable peers: up, and on this side of any partition.
+                // Forgeries are exempt — the covert channel does not
+                // partition.
+                let peers: Vec<usize> = (0..n_honest_srv)
+                    .filter(|&i| i != s && !fs.server_down(t, i) && fs.exchange_allowed(t, s, i))
+                    .collect();
                 let honest_needed = q_model
                     .saturating_sub(1)
                     .saturating_sub(forged_msgs.len())
-                    .min(n_honest_srv - 1);
-                let others: Vec<usize> = (0..n_honest_srv).filter(|&i| i != s).collect();
-                let (sel, completion) = self.quorum_delays(others.len(), honest_needed, bytes);
+                    .min(peers.len());
+                let (sel, completion) =
+                    self.quorum_delays(&peers, honest_needed, bytes, stretch, |_| 0.0);
                 worst_exchange = worst_exchange.max(completion);
+                if tracing {
+                    quorum_h.write_indices(&sel);
+                    quorum_h.write_u64(forged_msgs.len() as u64);
+                    messages += (1 + sel.len() + forged_msgs.len()) as u64;
+                }
+                if Self::fold_unsafe(1 + sel.len(), forged_msgs.len()) {
+                    // A partitioned-off server must not fold a multiset
+                    // the forgeries dominate; it keeps its local update.
+                    folded.push(new_params[s].clone());
+                    continue;
+                }
                 let mut received = vec![new_params[s].clone()];
-                received.extend(sel.iter().map(|&i| new_params[others[i]].clone()));
+                received.extend(sel.iter().map(|&i| new_params[i].clone()));
                 received.extend(forged_msgs);
                 folded.push(self.model_fold.aggregate(&received)?);
             }
@@ -541,6 +705,9 @@ impl LockstepTrainer {
         self.step += 1;
         self.sim_time += phase_time;
         self.last_phase_time = phase_time;
+        if tracing {
+            self.record_round_digest(quorum_h.finish(), messages);
+        }
 
         if cfg.alignment_every > 0
             && self.step.is_multiple_of(cfg.alignment_every)
@@ -803,6 +970,168 @@ mod tests {
         assert_ne!(
             a.records.last().unwrap().loss,
             c.records.last().unwrap().loss
+        );
+    }
+
+    #[test]
+    fn trace_records_one_digest_per_round_and_replays() {
+        use crate::faults::{FaultKind, FaultSchedule};
+        let run = || {
+            let (train, test) = tiny_data();
+            let mut cfg = LockstepConfig::guanyu(small_cluster(), 21);
+            cfg.trace_enabled = true;
+            cfg.faults = FaultSchedule::none()
+                .with(2, 4, FaultKind::CrashServers { servers: vec![1] })
+                .with(
+                    1,
+                    5,
+                    FaultKind::DelaySpike {
+                        factor: 5.0,
+                        extra_secs: 0.01,
+                    },
+                );
+            let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+            for _ in 0..6 {
+                t.step().unwrap();
+            }
+            assert_eq!(t.trace().len(), 6);
+            t.trace().fingerprint()
+        };
+        assert_eq!(run(), run(), "same seed + schedule ⇒ identical trace");
+    }
+
+    #[test]
+    fn crashed_server_freezes_then_recovers_via_exchange() {
+        use crate::faults::{FaultKind, FaultSchedule};
+        let (train, test) = tiny_data();
+        let mut cfg = LockstepConfig::guanyu(small_cluster(), 22);
+        cfg.faults = FaultSchedule::none().with(1, 4, FaultKind::CrashServers { servers: vec![0] });
+        let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        t.step().unwrap();
+        let frozen = t.honest_server_params()[0].clone();
+        t.step().unwrap();
+        t.step().unwrap();
+        assert_eq!(
+            t.honest_server_params()[0],
+            frozen,
+            "crashed server must not move"
+        );
+        // Live servers keep making progress meanwhile.
+        assert_ne!(t.honest_server_params()[1], frozen);
+        // After recovery the exchange median pulls the stale replica back
+        // toward the live cluster.
+        let gap_before = t.honest_server_params()[0]
+            .distance(&t.honest_server_params()[1])
+            .unwrap();
+        for _ in 0..3 {
+            t.step().unwrap();
+        }
+        let gap_after = t.honest_server_params()[0]
+            .distance(&t.honest_server_params()[1])
+            .unwrap();
+        assert!(
+            gap_after < gap_before,
+            "recovery should re-converge: {gap_before} -> {gap_after}"
+        );
+    }
+
+    #[test]
+    fn worker_attack_window_gates_forging() {
+        use crate::faults::{FaultKind, FaultSchedule};
+        let (train, test) = tiny_data();
+        // Windowed gross attack that never opens ≡ mute attacker.
+        let mut windowed = LockstepConfig::guanyu(small_cluster(), 23);
+        windowed.trace_enabled = true;
+        windowed.actual_byz_workers = 2;
+        windowed.worker_attack = Some(AttackKind::LargeValue { value: 1e9 });
+        windowed.faults = FaultSchedule::none().with(100, 200, FaultKind::WorkerAttack);
+        let mut muted = LockstepConfig::guanyu(small_cluster(), 23);
+        muted.trace_enabled = true;
+        muted.actual_byz_workers = 2;
+        muted.worker_attack = Some(AttackKind::Mute);
+        let fingerprint = |cfg: LockstepConfig| {
+            let mut t = LockstepTrainer::new(cfg, builder, train.clone(), test.clone()).unwrap();
+            for _ in 0..4 {
+                t.step().unwrap();
+            }
+            t.trace().fingerprint()
+        };
+        assert_eq!(fingerprint(windowed.clone()), fingerprint(muted));
+        // An open window must change the run.
+        let mut open = windowed;
+        open.faults = FaultSchedule::none().with(0, 200, FaultKind::WorkerAttack);
+        let mut always = LockstepConfig::guanyu(small_cluster(), 23);
+        always.trace_enabled = true;
+        always.actual_byz_workers = 2;
+        always.worker_attack = Some(AttackKind::Mute);
+        assert_ne!(fingerprint(open), fingerprint(always));
+    }
+
+    #[test]
+    fn isolated_server_refuses_attacker_dominated_fold() {
+        use crate::faults::{FaultKind, FaultSchedule};
+        // Server 5 is cut off from every honest peer while a gross
+        // Byzantine server attacks: its degraded exchange "quorum" would
+        // be {own, forged} — majority adversary. The guard must make it
+        // keep its own update instead of folding toward 1e9.
+        let (train, test) = tiny_data();
+        let mut cfg = LockstepConfig::guanyu(small_cluster(), 31);
+        cfg.actual_byz_servers = 1;
+        cfg.server_attack = Some(AttackKind::LargeValue { value: 1e9 });
+        // 5 honest servers (index 4 is the last honest one after the
+        // Byzantine assignment); isolate honest server 4.
+        cfg.faults = FaultSchedule::none().with(
+            0,
+            10,
+            FaultKind::PartitionServers {
+                groups: vec![vec![0, 1, 2, 3], vec![4]],
+            },
+        );
+        let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        for _ in 0..3 {
+            t.step().unwrap();
+        }
+        let isolated = &t.honest_server_params()[4];
+        assert!(isolated.is_finite());
+        assert!(
+            isolated.norm() < 1e3,
+            "isolated server was dragged by the forgery: norm {}",
+            isolated.norm()
+        );
+    }
+
+    #[test]
+    fn partition_and_straggler_faults_keep_honest_agreement() {
+        use crate::faults::{FaultKind, FaultSchedule};
+        let (train, test) = tiny_data();
+        let mut cfg = LockstepConfig::guanyu(small_cluster(), 24);
+        cfg.faults = FaultSchedule::none()
+            .with(
+                2,
+                6,
+                FaultKind::PartitionServers {
+                    groups: vec![vec![0, 1, 2], vec![3, 4, 5]],
+                },
+            )
+            .with(
+                3,
+                8,
+                FaultKind::StragglerWorkers {
+                    workers: vec![0, 1],
+                    extra_secs: 5.0,
+                },
+            );
+        let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        for _ in 0..10 {
+            t.step().unwrap();
+        }
+        assert!(!t.diverged());
+        let params = t.honest_server_params();
+        let diam = aggregation::properties::diameter(params).unwrap();
+        let scale = params[0].norm().max(1.0);
+        assert!(
+            diam < scale,
+            "honest servers must re-agree after the partition heals: {diam} vs {scale}"
         );
     }
 

@@ -34,6 +34,7 @@ use tensor::{Tensor, TensorRng};
 
 use crate::config::ClusterConfig;
 use crate::cost::CostModel;
+use crate::trace::{tensor_digest, DigestHasher, RoundDigest, Trace};
 use crate::{GuanYuError, Result};
 
 /// Protocol messages. Sizes on the wire follow
@@ -64,6 +65,24 @@ pub enum Msg {
     },
 }
 
+/// One honest server's completed step, digested for the trace checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepDigest {
+    /// Honest server node id.
+    pub server: usize,
+    /// The step it completed.
+    pub step: u64,
+    /// Simulated completion time.
+    pub completed_at: SimTime,
+    /// Hash of the server's parameter vector after the step.
+    pub param_hash: u64,
+    /// Hash of the quorum compositions (gradient + exchange sender ids)
+    /// that produced it.
+    pub quorum_hash: u64,
+    /// Messages folded into those quorums.
+    pub messages: u64,
+}
+
 /// Shared run state, written by server nodes, read by the harness.
 #[derive(Debug, Default)]
 pub struct Recorder {
@@ -71,6 +90,8 @@ pub struct Recorder {
     pub server_params: HashMap<usize, Tensor>,
     /// `(server node id, step, completion time)` for every finished step.
     pub step_completions: Vec<(usize, u64, SimTime)>,
+    /// Per-(server, step) digests, in completion order.
+    pub step_digests: Vec<StepDigest>,
     /// Total model updates across honest servers.
     pub updates: u64,
 }
@@ -92,6 +113,53 @@ impl Recorder {
             .filter(|&&(_, s, _)| s == step)
             .map(|&(_, _, t)| t)
             .max()
+    }
+
+    /// Honest server ids that completed `step`.
+    pub fn servers_finishing(&self, step: u64) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .step_completions
+            .iter()
+            .filter(|&&(_, s, _)| s == step)
+            .map(|&(id, _, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Canonicalises the per-server digests into a [`Trace`]: one
+    /// [`RoundDigest`] per step, folding the participating servers in
+    /// `(step, server id)` order. Servers that never finished a step
+    /// (crashed / stalled behind a fault) are simply absent from that
+    /// step's fold — the digest stays deterministic because the *set* of
+    /// finishers is.
+    pub fn trace(&self) -> Trace {
+        let mut digests = self.step_digests.clone();
+        digests.sort_by_key(|d| (d.step, d.server));
+        let mut trace = Trace::new();
+        let mut i = 0;
+        while i < digests.len() {
+            let step = digests[i].step;
+            let mut mh = DigestHasher::new();
+            let mut qh = DigestHasher::new();
+            let mut messages = 0u64;
+            while i < digests.len() && digests[i].step == step {
+                let d = &digests[i];
+                mh.write_u64(d.server as u64);
+                mh.write_u64(d.param_hash);
+                qh.write_u64(d.server as u64);
+                qh.write_u64(d.quorum_hash);
+                messages += d.messages;
+                i += 1;
+            }
+            trace.push(RoundDigest {
+                step,
+                model_hash: mh.finish(),
+                quorum_hash: qh.finish(),
+                messages,
+            });
+        }
+        trace
     }
 }
 
@@ -118,6 +186,24 @@ pub struct ProtocolConfig {
     pub actual_byz_servers: usize,
     /// Their attack.
     pub server_attack: Option<AttackKind>,
+    /// Attack onset/offset windows for the workers' attack, in steps
+    /// (`[start, end)` each; see [`crate::faults::windows_allow`]). Empty
+    /// = live from step 0. Outside every window the Byzantine workers
+    /// stay mute. Gated on the *step carried in the triggering message*,
+    /// so onset is exact under asynchrony and gaps between disjoint
+    /// windows match the lockstep engine's gating.
+    pub worker_attack_windows: Vec<(u64, u64)>,
+    /// Same gating for the server attack.
+    pub server_attack_windows: Vec<(u64, u64)>,
+    /// Enables recovery fast-forward for nodes that lost rounds: a worker
+    /// resumes at the newest fully-quorate step, a server adopts the
+    /// newest full exchange quorum's median (protocol-level state
+    /// transfer). Needed when a `simnet::FaultPlan` *drops* messages
+    /// (crash/partition scenarios) — a stale step's quorum may then never
+    /// fill. Off by default: on a lossless (however slow) network every
+    /// quorum eventually fills, and skipping ahead would forfeit steps a
+    /// delayed replica could still complete.
+    pub recovery: bool,
 }
 
 impl ProtocolConfig {
@@ -135,15 +221,20 @@ struct ServerNode {
     cfg: ProtocolConfig,
     params: Tensor,
     step: u64,
-    /// Gradients received per step.
-    grads: HashMap<u64, Vec<Tensor>>,
-    /// Exchange models received per step.
-    exchanges: HashMap<u64, Vec<Tensor>>,
+    /// Gradients received per step, tagged with the sender's node id (the
+    /// quorum composition feeds the trace digest).
+    grads: HashMap<u64, Vec<(usize, Tensor)>>,
+    /// Exchange models received per step, tagged with the sender.
+    exchanges: HashMap<u64, Vec<(usize, Tensor)>>,
     /// Whether the local update for `step` has been applied and we are
     /// waiting for the exchange quorum.
     exchanging: bool,
     gar: Box<dyn Gar>,
     median: CoordinateWiseMedian,
+    /// Digest of the quorum compositions folded in the current step.
+    round_quorum: DigestHasher,
+    /// Messages folded in the current step.
+    round_msgs: u64,
     recorder: Rc<RefCell<Recorder>>,
 }
 
@@ -169,10 +260,14 @@ impl ServerNode {
             return;
         }
         let received = self.grads.remove(&self.step).expect("checked above");
-        let agg = match self.gar.aggregate(&received[..q]) {
+        let quorum: Vec<Tensor> = received[..q].iter().map(|(_, g)| g.clone()).collect();
+        let agg = match self.gar.aggregate(&quorum) {
             Ok(a) => a,
             Err(_) => return, // malformed quorum (e.g. NaN injection): wait for more
         };
+        let senders: Vec<usize> = received[..q].iter().map(|&(from, _)| from).collect();
+        self.round_quorum.write_indices(&senders);
+        self.round_msgs += q as u64;
         let lr = self.cfg.lr.at(self.step);
         let d = self.params.len();
         self.params.axpy(-lr, &agg).expect("dimensions fixed");
@@ -186,7 +281,7 @@ impl ServerNode {
             self.exchanges
                 .entry(self.step)
                 .or_default()
-                .push(self.params.clone());
+                .push((ctx.me().0, self.params.clone()));
             let bytes = CostModel::message_bytes(d);
             for s in self.cfg.server_ids() {
                 if s != ctx.me() {
@@ -214,10 +309,49 @@ impl ServerNode {
             return;
         }
         let received = self.exchanges.remove(&self.step).expect("checked above");
-        if let Ok(folded) = self.median.aggregate(&received[..q]) {
+        let quorum: Vec<Tensor> = received[..q].iter().map(|(_, p)| p.clone()).collect();
+        if let Ok(folded) = self.median.aggregate(&quorum) {
             self.params = folded;
         }
+        let senders: Vec<usize> = received[..q].iter().map(|&(from, _)| from).collect();
+        self.round_quorum.write_indices(&senders);
+        self.round_msgs += q as u64;
         self.finish_step(ctx);
+    }
+
+    /// Recovery fast-forward: a server that lost rounds (crash window,
+    /// partition) can never fill quorums for its stale step — the cluster
+    /// has moved on and step-t messages are sent once. If a *newer* step's
+    /// exchange quorum is fully buffered, adopting its median is safe
+    /// state transfer (a full quorum holds ≤ f Byzantine vectors), so the
+    /// server jumps there and rejoins the protocol.
+    fn try_recover(&mut self, ctx: &mut Context<'_, Msg>) {
+        if !self.cfg.recovery {
+            return;
+        }
+        let q = self.cfg.cluster.server_quorum;
+        let Some(target) = self
+            .exchanges
+            .iter()
+            .filter(|&(&s, v)| s > self.step && v.len() >= q)
+            .map(|(&s, _)| s)
+            .max()
+        else {
+            return;
+        };
+        let received = self.exchanges.remove(&target).expect("checked above");
+        let quorum: Vec<Tensor> = received[..q].iter().map(|(_, p)| p.clone()).collect();
+        if let Ok(folded) = self.median.aggregate(&quorum) {
+            self.params = folded;
+            let senders: Vec<usize> = received[..q].iter().map(|&(from, _)| from).collect();
+            self.round_quorum.write_indices(&senders);
+            self.round_msgs += q as u64;
+            // Adopting the fold completes step `target` outright (the
+            // exchange phase IS the adopted quorum); finish_step clears
+            // any stale exchanging flag, advances, and rebroadcasts.
+            self.step = target;
+            self.finish_step(ctx);
+        }
     }
 
     fn finish_step(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -226,6 +360,14 @@ impl ServerNode {
             rec.server_params.insert(ctx.me().0, self.params.clone());
             rec.step_completions
                 .push((ctx.me().0, self.step, ctx.now()));
+            rec.step_digests.push(StepDigest {
+                server: ctx.me().0,
+                step: self.step,
+                completed_at: ctx.now(),
+                param_hash: tensor_digest(&self.params),
+                quorum_hash: std::mem::take(&mut self.round_quorum).finish(),
+                messages: std::mem::take(&mut self.round_msgs),
+            });
             rec.updates += 1;
         }
         self.exchanging = false;
@@ -243,21 +385,25 @@ impl SimNode<Msg> for ServerNode {
         self.broadcast_model(ctx);
     }
 
-    fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
         match msg {
             Msg::Gradient { step, grad } => {
                 // Bulk-synchronous rule: only gradients computed at step t
                 // feed the update at step t; stale ones are discarded, early
                 // ones buffered.
                 if step >= self.step && grad.len() == self.params.len() && grad.is_finite() {
-                    self.grads.entry(step).or_default().push(grad);
+                    self.grads.entry(step).or_default().push((from.0, grad));
                     self.try_aggregate_gradients(ctx);
                 }
             }
             Msg::Exchange { step, params } => {
                 if step >= self.step && params.len() == self.params.len() && params.is_finite() {
-                    self.exchanges.entry(step).or_default().push(params);
+                    self.exchanges
+                        .entry(step)
+                        .or_default()
+                        .push((from.0, params));
                     self.try_fold_exchanges(ctx);
+                    self.try_recover(ctx);
                 }
             }
             Msg::Model { .. } => {} // servers ignore model broadcasts
@@ -279,6 +425,23 @@ struct WorkerNode {
 impl WorkerNode {
     fn try_compute(&mut self, ctx: &mut Context<'_, Msg>) {
         let q = self.cfg.cluster.server_quorum;
+        // Recovery fast-forward (when enabled): a worker that lost rounds
+        // resumes at the newest fully-quorate step instead of stalling on
+        // a stale one whose broadcasts were dropped (servers discard
+        // stale gradients anyway, so the skipped rounds were already
+        // lost).
+        if self.cfg.recovery {
+            if let Some(newest) = self
+                .models
+                .iter()
+                .filter(|&(&s, v)| s > self.step && v.len() >= q)
+                .map(|(&s, _)| s)
+                .max()
+            {
+                self.step = newest;
+                self.models.retain(|&s, _| s >= newest);
+            }
+        }
         while self.models.get(&self.step).is_some_and(|v| v.len() >= q) {
             let received = self.models.remove(&self.step).expect("checked above");
             let folded = match self.median.aggregate(&received[..q]) {
@@ -351,7 +514,15 @@ impl SimNode<Msg> for ByzantineWorkerNode {
     fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
         if let Msg::Model { step, params } = msg {
             self.observed.entry(step).or_default().push(params);
+            // Prune unconditionally — gated (mute) steps must not pin
+            // their observed models for the rest of the run.
+            self.observed.retain(|&s, _| s + 2 >= step);
             if self.forged_for.contains_key(&step) {
+                return;
+            }
+            if !crate::faults::windows_allow(&self.cfg.worker_attack_windows, step) {
+                // Outside the onset/offset window the attacker stays mute
+                // (the least harmful behaviour) — but keeps observing.
                 return;
             }
             self.forged_for.insert(step, true);
@@ -365,7 +536,6 @@ impl SimNode<Msg> for ByzantineWorkerNode {
                     ctx.send(s, Msg::Gradient { step, grad: forged }, bytes);
                 }
             }
-            self.observed.retain(|&s, _| s + 2 >= step);
         }
     }
 }
@@ -384,6 +554,9 @@ struct ByzantineServerNode {
 impl ByzantineServerNode {
     fn forge_round(&mut self, step: u64, ctx: &mut Context<'_, Msg>) {
         if self.forged_for.contains_key(&step) {
+            return;
+        }
+        if !crate::faults::windows_allow(&self.cfg.server_attack_windows, step) {
             return;
         }
         let honest = match self.observed.get(&step) {
@@ -501,6 +674,8 @@ pub fn build_simulation(
                 exchanging: false,
                 gar,
                 median: CoordinateWiseMedian::new(),
+                round_quorum: DigestHasher::new(),
+                round_msgs: 0,
                 recorder: Rc::clone(&recorder),
             }));
         } else {
@@ -579,6 +754,9 @@ mod tests {
             worker_attack: None,
             actual_byz_servers: 0,
             server_attack: None,
+            worker_attack_windows: Vec::new(),
+            server_attack_windows: Vec::new(),
+            recovery: false,
         }
     }
 
@@ -695,10 +873,53 @@ mod tests {
             worker_attack: None,
             actual_byz_servers: 0,
             server_attack: None,
+            worker_attack_windows: Vec::new(),
+            server_attack_windows: Vec::new(),
+            recovery: false,
         };
         let (mut sim, rec) =
             build_simulation(&cfg, builder, tiny_train(), 9, DelayModel::grid5000()).unwrap();
         sim.run();
         assert_eq!(rec.borrow().updates, 3);
+    }
+
+    #[test]
+    fn recorder_trace_is_deterministic_and_bit_sensitive() {
+        let run = |seed| {
+            let cfg = base_cfg(4);
+            let (mut sim, rec) =
+                build_simulation(&cfg, builder, tiny_train(), seed, DelayModel::grid5000())
+                    .unwrap();
+            sim.run();
+            let trace = rec.borrow().trace();
+            assert_eq!(trace.len(), 4, "one digest per completed step");
+            trace.fingerprint()
+        };
+        assert_eq!(run(11), run(11), "same seed ⇒ identical trace");
+        assert_ne!(run(11), run(12), "different seed ⇒ different trace");
+    }
+
+    #[test]
+    fn attack_window_gates_forgeries_by_step() {
+        // With the window closed for the whole run, a "Byzantine" worker
+        // behaves exactly like a mute one.
+        let mut windowed = base_cfg(4);
+        windowed.actual_byz_workers = 2;
+        windowed.worker_attack = Some(AttackKind::LargeValue { value: 1e9 });
+        windowed.worker_attack_windows = vec![(100, 200)];
+        let mut muted = base_cfg(4);
+        muted.actual_byz_workers = 2;
+        muted.worker_attack = Some(AttackKind::Mute);
+        let fingerprint = |cfg: &ProtocolConfig| {
+            let (mut sim, rec) =
+                build_simulation(cfg, builder, tiny_train(), 13, DelayModel::grid5000()).unwrap();
+            sim.run();
+            let fp = rec.borrow().trace().fingerprint();
+            fp
+        };
+        assert_eq!(fingerprint(&windowed), fingerprint(&muted));
+        // With the window open the forgeries flow and the trace moves.
+        windowed.worker_attack_windows = vec![(0, 200)];
+        assert_ne!(fingerprint(&windowed), fingerprint(&muted));
     }
 }

@@ -43,6 +43,72 @@ proptest! {
         prop_assert!(cfg.validate().is_ok());
     }
 
+    /// Full six-parameter feasible region: `with_quorums` accepts exactly
+    /// the paper's §3.2 region —
+    /// `n ≥ 3f + 3 ∧ n̄ ≥ 3f̄ + 3 ∧ 2f + 3 ≤ q ≤ n − f ∧
+    ///  2f̄ + 3 ≤ q̄ ≤ n̄ − f̄` — and rejects every point outside it.
+    #[test]
+    fn quorum_feasible_region_is_exact(
+        servers in 1usize..30,
+        byz_servers in 0usize..10,
+        workers in 1usize..40,
+        byz_workers in 0usize..12,
+        server_quorum in 0usize..35,
+        worker_quorum in 0usize..45,
+    ) {
+        let sizes_legal =
+            servers >= 3 * byz_servers + 3 && workers >= 3 * byz_workers + 3;
+        let q_legal = server_quorum >= 2 * byz_servers + 3
+            && servers >= byz_servers
+            && server_quorum <= servers - byz_servers;
+        let qw_legal = worker_quorum >= 2 * byz_workers + 3
+            && workers >= byz_workers
+            && worker_quorum <= workers - byz_workers;
+        let legal = sizes_legal && q_legal && qw_legal;
+        let built = ClusterConfig::with_quorums(
+            servers,
+            byz_servers,
+            workers,
+            byz_workers,
+            server_quorum,
+            worker_quorum,
+        );
+        prop_assert_eq!(
+            built.is_ok(),
+            legal,
+            "n={} f={} nw={} fw={} q={} qw={}",
+            servers,
+            byz_servers,
+            workers,
+            byz_workers,
+            server_quorum,
+            worker_quorum
+        );
+        // Whenever construction succeeds the result must also re-validate
+        // (no constructor/validator drift).
+        if let Ok(cfg) = built {
+            prop_assert!(cfg.validate().is_ok());
+            prop_assert_eq!(cfg.server_quorum, server_quorum);
+            prop_assert_eq!(cfg.worker_quorum, worker_quorum);
+        }
+    }
+
+    /// Boundary sharpness at every corner of the feasible region: each
+    /// single-step perturbation outside flips acceptance.
+    #[test]
+    fn quorum_region_boundaries_are_tight(f in 0usize..5, fw in 0usize..5) {
+        let n = 3 * f + 3;
+        let nw = 3 * fw + 3;
+        let (q_lo, q_hi) = (2 * f + 3, n - f);
+        let (qw_lo, qw_hi) = (2 * fw + 3, nw - fw);
+        prop_assert!(ClusterConfig::with_quorums(n, f, nw, fw, q_lo, qw_lo).is_ok());
+        prop_assert!(ClusterConfig::with_quorums(n, f, nw, fw, q_hi, qw_hi).is_ok());
+        prop_assert!(ClusterConfig::with_quorums(n, f, nw, fw, q_lo - 1, qw_lo).is_err());
+        prop_assert!(ClusterConfig::with_quorums(n, f, nw, fw, q_hi + 1, qw_lo).is_err());
+        prop_assert!(ClusterConfig::with_quorums(n, f, nw, fw, q_lo, qw_lo - 1).is_err());
+        prop_assert!(ClusterConfig::with_quorums(n, f, nw, fw, q_lo, qw_hi + 1).is_err());
+    }
+
     /// Honest majorities: any valid config leaves more than 2/3 honest on
     /// each side (the optimality argument of the paper's §3.5).
     #[test]

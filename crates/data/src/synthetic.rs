@@ -1,12 +1,13 @@
 //! Synthetic datasets: the CIFAR-10 substitute and fast low-dimensional
 //! blobs.
 
+use serde::{Deserialize, Serialize};
 use tensor::{Tensor, TensorRng};
 
 use crate::{Dataset, Result};
 
 /// Configuration for [`synthetic_cifar`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SyntheticConfig {
     /// Number of training examples.
     pub train: usize,

@@ -67,10 +67,14 @@ pub struct ClusterReport {
 }
 
 struct Frame {
-    /// Sender id — carried for parity with a real transport (gRPC peer
-    /// identity); the current roles authenticate by message content, not
-    /// sender, exactly like the paper's implementation.
-    #[allow(dead_code)]
+    /// Sender id — the transport-level peer identity (as a gRPC peer
+    /// would carry). Roles still authenticate by message content, exactly
+    /// like the paper's implementation, but receivers use the sender id to
+    /// fold quorums in a canonical order: aggregation over a quorum is a
+    /// function of the received *multiset*, so sorting by sender before
+    /// folding removes arrival-order floating-point nondeterminism. A run
+    /// whose quorums equal the full honest sender set (q = n − f) is then
+    /// bit-reproducible — the property `tests/seed_stability.rs` pins.
     from: usize,
     /// Shared frame bytes: a broadcast encodes once and every receiver
     /// holds the same buffer (zero-copy fan-out on the transport layer).
@@ -104,6 +108,17 @@ impl Mailboxes {
 
 const POLL: Duration = Duration::from_millis(20);
 
+/// Takes the first `q` arrivals and re-orders them by sender id: the fold
+/// becomes a function of the received multiset rather than of OS-thread
+/// scheduling. With full quorums (`q` = sender count) the whole run is
+/// bit-reproducible; with partial quorums only the membership — never the
+/// fold order — remains timing-dependent.
+fn canonical_quorum(mut received: Vec<(usize, Tensor)>, q: usize) -> Vec<Tensor> {
+    received.truncate(q);
+    received.sort_by_key(|&(from, _)| from);
+    received.into_iter().map(|(_, t)| t).collect()
+}
+
 #[allow(clippy::too_many_arguments)]
 fn server_thread(
     me: usize,
@@ -118,8 +133,8 @@ fn server_thread(
     let median = CoordinateWiseMedian::new();
     let mut params = theta0;
     let mut step = 0u64;
-    let mut grads: HashMap<u64, Vec<Tensor>> = HashMap::new();
-    let mut exchanges: HashMap<u64, Vec<Tensor>> = HashMap::new();
+    let mut grads: HashMap<u64, Vec<(usize, Tensor)>> = HashMap::new();
+    let mut exchanges: HashMap<u64, Vec<(usize, Tensor)>> = HashMap::new();
     let mut exchanging = false;
     let servers = cfg.cluster.servers;
     let workers = cfg.cluster.workers;
@@ -150,12 +165,12 @@ fn server_thread(
             WireMsg::Gradient { step: s, grad }
                 if s >= step && grad.len() == params.len() && grad.is_finite() =>
             {
-                grads.entry(s).or_default().push(grad);
+                grads.entry(s).or_default().push((frame.from, grad));
             }
             WireMsg::Exchange { step: s, params: p }
                 if s >= step && p.len() == params.len() && p.is_finite() =>
             {
-                exchanges.entry(s).or_default().push(p);
+                exchanges.entry(s).or_default().push((frame.from, p));
             }
             _ => {}
         }
@@ -164,13 +179,16 @@ fn server_thread(
         if !exchanging {
             let q = cfg.cluster.worker_quorum;
             if grads.get(&step).is_some_and(|v| v.len() >= q) {
-                let received = grads.remove(&step).expect("checked");
-                if let Ok(agg) = gar.aggregate(&received[..q]) {
+                let received = canonical_quorum(grads.remove(&step).expect("checked"), q);
+                if let Ok(agg) = gar.aggregate(&received) {
                     let lr = cfg.lr.at(step);
                     params.axpy(-lr, &agg).expect("fixed dims");
                     if servers > 1 {
                         exchanging = true;
-                        exchanges.entry(step).or_default().push(params.clone());
+                        exchanges
+                            .entry(step)
+                            .or_default()
+                            .push((me, params.clone()));
                         let msg = WireMsg::Exchange {
                             step,
                             params: params.clone(),
@@ -189,8 +207,8 @@ fn server_thread(
         if exchanging {
             let q = cfg.cluster.server_quorum;
             if exchanges.get(&step).is_some_and(|v| v.len() >= q) {
-                let received = exchanges.remove(&step).expect("checked");
-                if let Ok(folded) = median.aggregate(&received[..q]) {
+                let received = canonical_quorum(exchanges.remove(&step).expect("checked"), q);
+                if let Ok(folded) = median.aggregate(&received) {
                     params = folded;
                 }
                 exchanging = false;
@@ -221,7 +239,7 @@ fn worker_thread(
     use std::collections::HashMap;
     let median = CoordinateWiseMedian::new();
     let mut step = 0u64;
-    let mut models: HashMap<u64, Vec<Tensor>> = HashMap::new();
+    let mut models: HashMap<u64, Vec<(usize, Tensor)>> = HashMap::new();
     let q = cfg.cluster.server_quorum;
     loop {
         if done.load(Ordering::Relaxed) {
@@ -234,12 +252,12 @@ fn worker_thread(
         };
         if let Ok(WireMsg::Model { step: s, params }) = decode(&frame.payload) {
             if s >= step && params.is_finite() {
-                models.entry(s).or_default().push(params);
+                models.entry(s).or_default().push((frame.from, params));
             }
         }
         while models.get(&step).is_some_and(|v| v.len() >= q) {
-            let received = models.remove(&step).expect("checked");
-            let folded = match median.aggregate(&received[..q]) {
+            let received = canonical_quorum(models.remove(&step).expect("checked"), q);
+            let folded = match median.aggregate(&received) {
                 Ok(f) => f,
                 Err(_) => break,
             };

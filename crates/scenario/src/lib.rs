@@ -1,0 +1,43 @@
+//! Declarative fault-injection scenarios with deterministic cross-engine
+//! trace checking.
+//!
+//! The paper's headline claim is liveness *and* safety under asynchrony
+//! plus Byzantine behaviour — yet most test surfaces only exercise static
+//! attack configurations on a well-behaved network. This crate scripts
+//! the environment itself: a [`Scenario`] is a cluster shape plus a
+//! round-indexed [`guanyu::faults::FaultSchedule`] of time-varying faults
+//! — network partitions with heal times, delay spikes, server/worker
+//! crash-and-recovery, straggler bursts, attack onset/offset windows and
+//! rolling churn — and compiles to *both* deterministic engines:
+//!
+//! * **lockstep** ([`run_lockstep`]) — the schedule applies round by
+//!   round through the fault hooks in `guanyu::lockstep`;
+//! * **event-driven** ([`run_event`]) — attack windows gate on the step
+//!   numbers carried in protocol messages (exact), while environmental
+//!   faults compile to a `simnet::FaultPlan` over simulated time, the
+//!   round→time mapping calibrated by a fault-free dry run.
+//!
+//! Every run records a [`guanyu::trace::Trace`] of per-round digests
+//! (model hashes, quorum compositions, message counts). The checker
+//! ([`check`]) asserts the two contracts of DESIGN.md §6:
+//!
+//! 1. **determinism** — same seed ⇒ bit-identical trace fingerprint
+//!    ([`check::assert_deterministic`]);
+//! 2. **protocol invariants** — honest-server agreement and progress
+//!    under bounded faults, on every engine
+//!    ([`check::check_invariants`]).
+//!
+//! [`matrix`] ships the standard scenario suite (one per fault class plus
+//! a combined stress), used by `tests/scenario_matrix.rs` and the
+//! `scenario_sweep` experiment binary.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod check;
+mod run;
+#[allow(clippy::module_inception)]
+mod scenario;
+
+pub use run::{calibrate_round_secs, run_event, run_event_with, run_lockstep, Engine, ScenarioRun};
+pub use scenario::{matrix, Scenario};

@@ -19,6 +19,10 @@
 //! * [`AdversarialSchedule`] — targeted extra delays on honest traffic,
 //!   modelling the adversary's (partial) control of the network, e.g.
 //!   congesting chosen links for chosen periods.
+//! * [`FaultPlan`] — scripted *environmental* faults: network partitions
+//!   with heal times, node crash/recovery windows, lossy links and delay
+//!   spikes. Evaluated deterministically per message, so faulty runs
+//!   replay bit-identically (the scenario layer's foundation).
 //! * [`TrafficStats`] — per-node message/byte counters and delivery traces
 //!   used by the throughput figures.
 //!
@@ -57,12 +61,14 @@
 
 mod adversary;
 mod delay;
+mod fault;
 mod sim;
 mod stats;
 mod time;
 
 pub use adversary::AdversarialSchedule;
 pub use delay::DelayModel;
+pub use fault::{FaultEffect, FaultPlan, FaultRule, FaultVerdict, LinkScope};
 pub use sim::{Context, NodeId, SimNode, Simulator};
 pub use stats::{DeliveryRecord, TrafficStats};
 pub use time::SimTime;

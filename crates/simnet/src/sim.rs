@@ -8,6 +8,7 @@ use tensor::TensorRng;
 
 use crate::adversary::AdversarialSchedule;
 use crate::delay::DelayModel;
+use crate::fault::{FaultPlan, FaultVerdict};
 use crate::stats::{DeliveryRecord, TrafficStats};
 use crate::time::SimTime;
 
@@ -156,6 +157,7 @@ pub struct Simulator<M> {
     rng: TensorRng,
     delay: DelayModel,
     adversary: AdversarialSchedule,
+    faults: FaultPlan,
     stats: TrafficStats,
     deadline: Option<SimTime>,
     max_events: Option<u64>,
@@ -172,6 +174,7 @@ impl<M> Simulator<M> {
             rng: TensorRng::new(seed),
             delay,
             adversary: AdversarialSchedule::none(),
+            faults: FaultPlan::none(),
             stats: TrafficStats::new(0, false),
             deadline: None,
             max_events: None,
@@ -182,6 +185,18 @@ impl<M> Simulator<M> {
     #[must_use]
     pub fn with_adversary(mut self, schedule: AdversarialSchedule) -> Self {
         self.adversary = schedule;
+        self
+    }
+
+    /// Installs a scripted [`FaultPlan`] (builder style). The plan judges
+    /// every non-covert message at send time: dropped messages never enter
+    /// the event queue (counted in `TrafficStats::messages_dropped`);
+    /// delayed ones pick up environmental delay before the adversarial
+    /// schedule applies. Covert sends ([`Context::send_instant`]) bypass
+    /// the plan — the adversary's own network does not fail.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -240,7 +255,19 @@ impl<M> Simulator<M> {
         let transit = if out.instant {
             0.0
         } else {
+            // Physical delay is always sampled (keeps the RNG stream
+            // identical with and without a fault plan), then the
+            // environment and finally the adversary act on it.
             let physical = self.delay.sample(out.bytes, &mut self.rng);
+            let physical = match self.faults.judge(depart, from, out.to, self.seq, physical) {
+                FaultVerdict::Drop => {
+                    self.stats.on_send(from, out.bytes);
+                    self.stats.on_drop();
+                    self.seq += 1;
+                    return;
+                }
+                FaultVerdict::Deliver { extra_delay_secs } => physical + extra_delay_secs,
+            };
             self.adversary.apply(depart, from, out.to, physical)
         };
         let at = depart.after_secs(transit);
@@ -567,6 +594,84 @@ mod tests {
         let to2 = trace.iter().find(|r| r.to == NodeId(2)).unwrap();
         assert!((to1.latency_secs() - 1.0).abs() < 1e-9);
         assert!((to2.latency_secs() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_plan_drops_partitioned_traffic_then_heals() {
+        use crate::fault::FaultPlan;
+        // Nodes 0 and 1 ping-pong; a partition separates them for the
+        // first 5 simulated seconds. Node 0's opening send is lost, so
+        // nothing ever flows (ping-pong has no retransmission)...
+        let plan = FaultPlan::none().partition(
+            vec![vec![NodeId(0)], vec![NodeId(1)]],
+            SimTime::ZERO,
+            SimTime::from_secs_f64(5.0),
+        );
+        let mut sim =
+            Simulator::new(1, DelayModel::Fixed { seconds: 0.01 }).with_faults(plan.clone());
+        sim.add_node(Box::new(Counter {
+            received: 0,
+            hops: 3,
+        }));
+        sim.add_node(Box::new(Counter {
+            received: 0,
+            hops: 3,
+        }));
+        assert_eq!(sim.run(), 0);
+        assert_eq!(sim.stats().messages_dropped, 1);
+        assert_eq!(sim.stats().messages_sent, 1, "drops still count as sent");
+
+        // ...whereas a fault window that never matches leaves the run
+        // untouched and bit-identical to the unfaulted one.
+        let inert = FaultPlan::none().partition(
+            vec![vec![NodeId(7)], vec![NodeId(8)]],
+            SimTime::ZERO,
+            SimTime::from_secs_f64(5.0),
+        );
+        let run = |plan: FaultPlan| {
+            let mut sim = Simulator::new(1, DelayModel::Exponential { mean: 0.01 })
+                .with_faults(plan)
+                .with_tracing();
+            sim.add_node(Box::new(Counter {
+                received: 0,
+                hops: 6,
+            }));
+            sim.add_node(Box::new(Counter {
+                received: 0,
+                hops: 6,
+            }));
+            sim.run();
+            sim.stats().trace.clone()
+        };
+        assert_eq!(run(inert), run(FaultPlan::none()));
+    }
+
+    #[test]
+    fn crash_window_silences_node_until_recovery() {
+        use crate::fault::FaultPlan;
+        // Node 0 sends to node 1 at t=0 (lost: 1 is crashed) and again
+        // at t=2 via send_after (delivered: 1 has recovered).
+        struct Retry;
+        impl SimNode<u8> for Retry {
+            fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+                if ctx.me() == NodeId(0) {
+                    ctx.send(NodeId(1), 1, 1);
+                    ctx.send_after(2.0, NodeId(1), 2, 1);
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u8, _c: &mut Context<'_, u8>) {}
+        }
+        let plan = FaultPlan::none().crash(NodeId(1), SimTime::ZERO, SimTime::from_secs_f64(1.0));
+        let mut sim = Simulator::new(1, DelayModel::Fixed { seconds: 0.01 })
+            .with_faults(plan)
+            .with_tracing();
+        sim.add_node(Box::new(Retry));
+        sim.add_node(Box::new(Retry));
+        assert_eq!(sim.run(), 1);
+        assert_eq!(sim.stats().messages_dropped, 1);
+        let trace = &sim.stats().trace;
+        assert_eq!(trace.len(), 1);
+        assert!((trace[0].sent.as_secs_f64() - 2.0).abs() < 1e-9);
     }
 
     #[test]

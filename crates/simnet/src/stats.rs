@@ -38,6 +38,10 @@ pub struct TrafficStats {
     pub messages_sent: u64,
     /// Total messages delivered to nodes.
     pub messages_delivered: u64,
+    /// Messages lost to the installed [`crate::FaultPlan`] (partitions,
+    /// crashes, lossy links). Dropped messages count as sent, never as
+    /// delivered.
+    pub messages_dropped: u64,
     /// Total payload bytes handed to the network.
     pub bytes_sent: u64,
     /// Total payload bytes delivered.
@@ -76,6 +80,10 @@ impl TrafficStats {
         if let Some(c) = self.sent_by_node.get_mut(from.0) {
             *c += 1;
         }
+    }
+
+    pub(crate) fn on_drop(&mut self) {
+        self.messages_dropped += 1;
     }
 
     pub(crate) fn on_deliver(&mut self, rec: DeliveryRecord) {

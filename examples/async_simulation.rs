@@ -39,6 +39,9 @@ fn run(label: &str, schedule: AdversarialSchedule) {
         worker_attack: Some(AttackKind::Random { scale: 100.0 }),
         actual_byz_servers: 0,
         server_attack: None,
+        worker_attack_windows: Vec::new(),
+        server_attack_windows: Vec::new(),
+        recovery: false,
     };
     let (sim, recorder) = build_simulation(
         &cfg,

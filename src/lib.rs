@@ -13,6 +13,8 @@
 //! * [`byzantine`] — attack implementations (S6)
 //! * [`guanyu`] — the GuanYu protocol, baselines and experiment harness (S7)
 //! * [`guanyu_runtime`] — threaded deployment over real channels (S8)
+//! * [`scenario`] — declarative fault-injection scenarios and the
+//!   deterministic cross-engine trace checker (DESIGN.md §6)
 
 pub use aggregation;
 pub use byzantine;
@@ -20,5 +22,6 @@ pub use data;
 pub use guanyu;
 pub use guanyu_runtime;
 pub use nn;
+pub use scenario;
 pub use simnet;
 pub use tensor;

@@ -74,6 +74,9 @@ fn run_event_driven(test: &Dataset) -> f32 {
         worker_attack: None,
         actual_byz_servers: 0,
         server_attack: None,
+        worker_attack_windows: Vec::new(),
+        server_attack_windows: Vec::new(),
+        recovery: false,
     };
     let (mut sim, rec) = build_simulation(&cfg, builder, train, 5, DelayModel::grid5000()).unwrap();
     sim.run();
@@ -130,6 +133,9 @@ fn event_driven_and_threaded_tolerate_byzantine_workers() {
         worker_attack: Some(AttackKind::SignFlip { factor: 100.0 }),
         actual_byz_servers: 0,
         server_attack: None,
+        worker_attack_windows: Vec::new(),
+        server_attack_windows: Vec::new(),
+        recovery: false,
     };
     let (mut sim, rec) =
         build_simulation(&cfg, builder, train.clone(), 6, DelayModel::grid5000()).unwrap();

@@ -19,6 +19,14 @@ fn cfg(seed: u64) -> ExperimentConfig {
 }
 
 /// GuanYu's accuracy under every worker attack at full declared load.
+///
+/// `Orthogonal` gets a lower accuracy bar: duplicate norm-matched stealth
+/// forgeries can win Multi-Krum's distance-based selection (the "Hidden
+/// Vulnerability" recorded by
+/// `known_limitation_duplicate_stealth_beats_multikrum_not_median`
+/// below), so under it GuanYu must merely stay safe — finite loss, and
+/// accuracy well above the 10% chance floor — rather than train as if
+/// unattacked.
 #[test]
 fn guanyu_survives_every_worker_attack() {
     let attacks = [
@@ -33,15 +41,21 @@ fn guanyu_survives_every_worker_attack() {
             lag: 3,
             factor: 5.0,
         },
+        AttackKind::Orthogonal,
     ];
     for attack in attacks {
         let mut c = cfg(10);
         c.actual_byz_workers = 2; // declared bound for the tiny cluster
         c.worker_attack = Some(attack);
         let r = run(SystemKind::GuanYu, &c).unwrap();
+        let floor = if attack == AttackKind::Orthogonal {
+            0.25
+        } else {
+            0.35
+        };
         assert!(
-            r.best_accuracy() > 0.35,
-            "GuanYu under {attack}: accuracy {} too low",
+            r.best_accuracy() > floor,
+            "GuanYu under {attack}: accuracy {} below {floor}",
             r.best_accuracy()
         );
         assert!(r.records.last().unwrap().loss.is_finite());
@@ -56,6 +70,10 @@ fn guanyu_survives_every_server_attack() {
         AttackKind::Equivocate { scale: 50.0 },
         AttackKind::LargeValue { value: 1e8 },
         AttackKind::Mute,
+        // One orthogonal-drift server is harmless to the coordinate-wise
+        // median fold (unlike the duplicate-worker case against
+        // Multi-Krum below).
+        AttackKind::Orthogonal,
     ];
     for attack in attacks {
         let mut c = cfg(11);

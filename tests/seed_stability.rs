@@ -1,0 +1,135 @@
+//! Seed-stability regression: the same configuration and seed, run twice,
+//! must yield **bit-identical** final model tensors on all three engines.
+//!
+//! This is the determinism contract the scenario trace checker
+//! (`tests/scenario_matrix.rs`) is built on: if any engine picks up a
+//! hidden source of nondeterminism (unseeded RNG, iteration-order
+//! dependence, arrival-order floating-point folds), this test fails
+//! before the digest machinery has to explain it.
+
+use std::time::Duration;
+
+use data::{synthetic_cifar, SyntheticConfig};
+use guanyu::config::ClusterConfig;
+use guanyu::cost::CostModel;
+use guanyu::experiment::{build_trainer, ExperimentConfig, SystemKind};
+use guanyu::protocol::{build_simulation, ProtocolConfig};
+use guanyu_runtime::{run_cluster, RuntimeConfig};
+use nn::{models, LrSchedule, Sequential};
+use simnet::DelayModel;
+use tensor::{Tensor, TensorRng};
+
+fn builder(rng: &mut TensorRng) -> Sequential {
+    models::small_cnn(8, 2, 10, rng)
+}
+
+fn assert_bit_identical(name: &str, a: &[Tensor], b: &[Tensor]) {
+    assert_eq!(a.len(), b.len(), "{name}: server counts differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.as_slice(),
+            y.as_slice(),
+            "{name}: server {i} final params differ between identical runs"
+        );
+    }
+}
+
+#[test]
+fn lockstep_engine_is_bit_reproducible() {
+    let run = || {
+        let mut cfg = ExperimentConfig::tiny();
+        cfg.steps = 8;
+        cfg.seed = 77;
+        cfg.data.seed = 77;
+        let mut t = build_trainer(SystemKind::GuanYu, &cfg).unwrap();
+        for _ in 0..cfg.steps {
+            t.step().unwrap();
+        }
+        t.honest_server_params().to_vec()
+    };
+    assert_bit_identical("lockstep", &run(), &run());
+}
+
+#[test]
+fn event_driven_engine_is_bit_reproducible() {
+    let run = || {
+        let cfg = ProtocolConfig {
+            cluster: ClusterConfig::new(6, 1, 9, 2).unwrap(),
+            max_steps: 6,
+            lr: LrSchedule::constant(0.05),
+            server_gar: aggregation::GarKind::MultiKrum,
+            cost: CostModel::guanyu(),
+            batch_size: 8,
+            actual_byz_workers: 0,
+            worker_attack: None,
+            actual_byz_servers: 0,
+            server_attack: None,
+            worker_attack_windows: Vec::new(),
+            server_attack_windows: Vec::new(),
+            recovery: false,
+        };
+        let train = synthetic_cifar(&SyntheticConfig {
+            train: 64,
+            test: 0,
+            side: 8,
+            seed: 77,
+            ..Default::default()
+        })
+        .unwrap()
+        .0;
+        let (mut sim, rec) =
+            build_simulation(&cfg, builder, train, 77, DelayModel::grid5000()).unwrap();
+        sim.run();
+        let params = rec.borrow().final_params();
+        params
+    };
+    assert_bit_identical("event-driven", &run(), &run());
+}
+
+/// The threaded engine runs real OS threads, so quorum *membership* is
+/// timing-dependent in general — but with full quorums (`q = n − f`,
+/// `q̄ = n̄`, all honest) every fold waits for the complete sender set,
+/// and the sender-sorted canonical fold makes the result a pure function
+/// of the seed. That configuration must be bit-reproducible.
+#[test]
+fn threaded_engine_is_bit_reproducible_at_full_quorums() {
+    let run = || {
+        let cfg = RuntimeConfig {
+            cluster: ClusterConfig::with_quorums(6, 0, 9, 0, 6, 9).unwrap(),
+            max_steps: 4,
+            batch_size: 8,
+            seed: 77,
+            wall_timeout: Duration::from_secs(120),
+            ..RuntimeConfig::default_for_tests()
+        };
+        let train = synthetic_cifar(&SyntheticConfig {
+            train: 64,
+            test: 0,
+            side: 8,
+            seed: 77,
+            ..Default::default()
+        })
+        .unwrap()
+        .0;
+        run_cluster(&cfg, builder, train).unwrap().final_params
+    };
+    assert_bit_identical("threaded", &run(), &run());
+}
+
+/// Different seeds must *not* collide (guards against the reproducibility
+/// above degenerating into "everything returns the same constant").
+#[test]
+fn different_seeds_diverge_on_the_lockstep_engine() {
+    let run = |seed| {
+        let mut cfg = ExperimentConfig::tiny();
+        cfg.steps = 4;
+        cfg.seed = seed;
+        cfg.data.seed = seed;
+        let mut t = build_trainer(SystemKind::GuanYu, &cfg).unwrap();
+        for _ in 0..cfg.steps {
+            t.step().unwrap();
+        }
+        t.honest_server_params()[0].as_slice().to_vec()
+    };
+    assert_ne!(run(1), run(2));
+}
