@@ -1,0 +1,190 @@
+//! Transport throughput sweep: channel vs TCP loopback at increasing
+//! scale (DESIGN.md §7).
+//!
+//! Runs the same seeded full-quorum workload on both transports of the
+//! threaded runtime, verifies their `guanyu::trace` fingerprints agree
+//! bit-for-bit at each point, and reports updates/s plus the estimated
+//! protocol bytes moved — quantifying what crossing the kernel's TCP
+//! stack costs relative to in-process channels with `Arc`-shared frames.
+//!
+//! Flags: `--tiny` (CI smoke), `--steps N`, `--trials N`,
+//! `--paper` (paper-shaped 6+18 cluster and a wider model).
+
+use std::time::Duration;
+
+use data::{synthetic_cifar, SyntheticConfig};
+use guanyu::config::ClusterConfig;
+use guanyu_bench::{arg, flag, save_json};
+use guanyu_runtime::{run_cluster, ClusterReport, RuntimeConfig, TransportKind};
+use nn::models;
+use serde::Serialize;
+use tensor::TensorRng;
+
+/// One measured configuration on one transport.
+#[derive(Debug, Clone, Serialize)]
+struct SweepPoint {
+    /// Sweep-point label.
+    scale: String,
+    /// Transport label.
+    transport: String,
+    /// Servers.
+    servers: usize,
+    /// Workers.
+    workers: usize,
+    /// Model parameter count (frame payload size in f32s).
+    dim: usize,
+    /// Protocol steps.
+    steps: u64,
+    /// Model updates per wall second (mean over trials).
+    updates_per_sec: f64,
+    /// Wall seconds (mean over trials).
+    wall_secs: f64,
+    /// Estimated protocol payload moved per run, in MiB.
+    payload_mib: f64,
+    /// Estimated payload throughput, MiB/s.
+    mib_per_sec: f64,
+    /// Whole-run trace fingerprint (bit-identical across transports).
+    fingerprint: u64,
+    /// Sends dropped (must be 0 on these clean full-quorum runs).
+    dropped_sends: u64,
+}
+
+/// Protocol payload bytes of one full-quorum run: per round, every server
+/// sends the model to every worker, every worker a gradient to every
+/// server, and every server its update to every other server — `dim`
+/// f32s each, plus the 13-byte frame header.
+fn payload_bytes(servers: usize, workers: usize, dim: usize, steps: u64) -> f64 {
+    let frames_per_round = (servers * workers) + (workers * servers) + servers * (servers - 1);
+    let frame = 13.0 + dim as f64 * 4.0;
+    frames_per_round as f64 * frame * steps as f64
+}
+
+fn measure(
+    scale: &str,
+    cluster: ClusterConfig,
+    filters: usize,
+    steps: u64,
+    trials: usize,
+    transport: TransportKind,
+) -> SweepPoint {
+    let builder = move |rng: &mut TensorRng| models::small_cnn(8, filters, 10, rng);
+    let dim = builder(&mut TensorRng::new(0)).param_count();
+    let mut wall = 0.0;
+    let mut last: Option<ClusterReport> = None;
+    for trial in 0..trials {
+        let cfg = RuntimeConfig {
+            cluster,
+            max_steps: steps,
+            batch_size: 16,
+            seed: 7, // same seed per trial: full-quorum runs are pure functions of it
+            wall_timeout: Duration::from_secs(600),
+            transport,
+            ..RuntimeConfig::default_for_tests()
+        };
+        let train = synthetic_cifar(&SyntheticConfig {
+            train: 128,
+            test: 0,
+            side: 8,
+            seed: 7,
+            ..Default::default()
+        })
+        .expect("dataset")
+        .0;
+        let report = run_cluster(&cfg, builder, train).expect("sweep run");
+        assert_eq!(report.dropped_sends, 0, "clean run dropped sends");
+        if let Some(prev) = &last {
+            assert_eq!(
+                prev.trace.fingerprint(),
+                report.trace.fingerprint(),
+                "{scale}/{transport}: trial {trial} fingerprint drifted"
+            );
+        }
+        wall += report.wall_secs;
+        last = Some(report);
+    }
+    let report = last.expect("at least one trial");
+    let wall_secs = wall / trials as f64;
+    let payload = payload_bytes(cluster.servers, cluster.workers, dim, steps);
+    SweepPoint {
+        scale: scale.to_string(),
+        transport: transport.to_string(),
+        servers: cluster.servers,
+        workers: cluster.workers,
+        dim,
+        steps,
+        updates_per_sec: report.updates as f64 / wall_secs,
+        wall_secs,
+        payload_mib: payload / (1024.0 * 1024.0),
+        mib_per_sec: payload / (1024.0 * 1024.0) / wall_secs,
+        fingerprint: report.trace.fingerprint(),
+        dropped_sends: report.dropped_sends,
+    }
+}
+
+fn main() {
+    let tiny = flag("tiny");
+    let paper = flag("paper");
+    let steps: u64 = arg("steps", if tiny { 3 } else { 10 });
+    let trials: usize = arg("trials", if tiny { 1 } else { 2 });
+
+    // Full quorums at every point: that is the regime where the two
+    // transports are provably bit-identical, so the comparison is
+    // apples-to-apples by construction.
+    let mut points: Vec<(&str, ClusterConfig, usize)> = vec![(
+        "small 3+6",
+        ClusterConfig::with_quorums(3, 0, 6, 0, 3, 6).expect("valid"),
+        2,
+    )];
+    if !tiny {
+        points.push((
+            "mid 6+12",
+            ClusterConfig::with_quorums(6, 0, 12, 0, 6, 12).expect("valid"),
+            4,
+        ));
+    }
+    if paper {
+        points.push((
+            "paper 6+18",
+            ClusterConfig::with_quorums(6, 0, 18, 0, 6, 18).expect("valid"),
+            8,
+        ));
+    }
+
+    println!(
+        "transport sweep: {} point(s), {steps} steps, {trials} trial(s)\n",
+        points.len()
+    );
+    println!(
+        "{:<12} {:>9} {:>8} {:>10} {:>12} {:>12} {:>11} {:>19}",
+        "scale", "transport", "dim", "wall (s)", "updates/s", "payload MiB", "MiB/s", "fingerprint"
+    );
+
+    let mut results: Vec<SweepPoint> = Vec::new();
+    for (scale, cluster, filters) in points {
+        let mut pair = Vec::new();
+        for transport in [TransportKind::Channel, TransportKind::TcpLoopback] {
+            let p = measure(scale, cluster, filters, steps, trials, transport);
+            println!(
+                "{:<12} {:>9} {:>8} {:>10.3} {:>12.1} {:>12.2} {:>11.1} {:>#19x}",
+                p.scale,
+                p.transport,
+                p.dim,
+                p.wall_secs,
+                p.updates_per_sec,
+                p.payload_mib,
+                p.mib_per_sec,
+                p.fingerprint
+            );
+            pair.push(p);
+        }
+        assert_eq!(
+            pair[0].fingerprint, pair[1].fingerprint,
+            "{scale}: channel and TCP traces diverged — determinism bug"
+        );
+        let slowdown = pair[0].updates_per_sec / pair[1].updates_per_sec;
+        println!("{:<12} tcp/channel slowdown: {slowdown:.2}×\n", "");
+        results.extend(pair);
+    }
+
+    save_json("transport_bench", &results);
+}

@@ -13,6 +13,8 @@ pub enum GuanYuError {
     Nn(String),
     /// The data substrate failed.
     Data(String),
+    /// The transport layer failed (socket setup, handshake, I/O).
+    Transport(String),
 }
 
 impl fmt::Display for GuanYuError {
@@ -22,6 +24,7 @@ impl fmt::Display for GuanYuError {
             GuanYuError::Aggregation(msg) => write!(f, "aggregation failure: {msg}"),
             GuanYuError::Nn(msg) => write!(f, "model failure: {msg}"),
             GuanYuError::Data(msg) => write!(f, "data failure: {msg}"),
+            GuanYuError::Transport(msg) => write!(f, "transport failure: {msg}"),
         }
     }
 }

@@ -1,7 +1,7 @@
-//! The threaded cluster: one OS thread per node, frames over channels.
+//! The threaded cluster: one OS thread per node, frames over a pluggable
+//! [`Transport`] — in-process channels or real TCP loopback sockets.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -9,11 +9,34 @@ use aggregation::{CoordinateWiseMedian, Gar, GarKind};
 use byzantine::{Attack, AttackKind, AttackView};
 use data::{Batcher, Dataset};
 use guanyu::config::ClusterConfig;
+use guanyu::trace::{tensor_digest, DigestHasher, RoundDigest, Trace};
 use guanyu::GuanYuError;
 use nn::{softmax_cross_entropy, LrSchedule, Sequential};
 use tensor::{Tensor, TensorRng};
 
-use crate::wire::{decode, encode, WireMsg};
+use crate::tcp::TcpTransport;
+use crate::transport::{ChannelTransport, RecvError, Transport};
+use crate::wire::{decode, WireMsg};
+
+/// Which interconnect carries the frames (DESIGN.md §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process `mpsc` channels with `Arc`-shared broadcast buffers.
+    #[default]
+    Channel,
+    /// Real TCP sockets over `127.0.0.1`: length-prefixed stream framing,
+    /// id-carrying handshakes, per-peer writer threads.
+    TcpLoopback,
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportKind::Channel => write!(f, "channel"),
+            TransportKind::TcpLoopback => write!(f, "tcp"),
+        }
+    }
+}
 
 /// Configuration of a threaded run.
 #[derive(Debug, Clone)]
@@ -36,6 +59,8 @@ pub struct RuntimeConfig {
     pub worker_attack: Option<AttackKind>,
     /// Safety net: abort the run after this much wall time.
     pub wall_timeout: Duration,
+    /// The interconnect the frames travel over.
+    pub transport: TransportKind,
 }
 
 impl RuntimeConfig {
@@ -51,6 +76,7 @@ impl RuntimeConfig {
             actual_byz_workers: 0,
             worker_attack: None,
             wall_timeout: Duration::from_secs(60),
+            transport: TransportKind::Channel,
         }
     }
 }
@@ -64,98 +90,119 @@ pub struct ClusterReport {
     pub updates: u64,
     /// Wall-clock duration of the run.
     pub wall_secs: f64,
+    /// Per-round digests of the run (see [`run_trace`]): at full quorums
+    /// this is a deterministic function of seed and config, identical
+    /// across transports.
+    pub trace: Trace,
+    /// Sends that found their peer already disconnected, summed over all
+    /// node endpoints. A clean full-quorum run drops nothing — the
+    /// regression `tests` assert exactly zero.
+    pub dropped_sends: u64,
 }
 
-struct Frame {
-    /// Sender id — the transport-level peer identity (as a gRPC peer
-    /// would carry). Roles still authenticate by message content, exactly
-    /// like the paper's implementation, but receivers use the sender id to
-    /// fold quorums in a canonical order: aggregation over a quorum is a
-    /// function of the received *multiset*, so sorting by sender before
-    /// folding removes arrival-order floating-point nondeterminism. A run
-    /// whose quorums equal the full honest sender set (q = n − f) is then
-    /// bit-reproducible — the property `tests/seed_stability.rs` pins.
-    from: usize,
-    /// Shared frame bytes: a broadcast encodes once and every receiver
-    /// holds the same buffer (zero-copy fan-out on the transport layer).
-    /// `Arc<Vec<u8>>` rather than `Arc<[u8]>` so the encoder's `Vec` moves
-    /// into the Arc without re-copying the frame.
-    payload: Arc<Vec<u8>>,
+/// One server's per-round record, kept locally (no cross-thread
+/// coordination on the hot path) and folded into a [`Trace`] after the
+/// join.
+#[derive(Debug, Default, Clone)]
+struct ServerLog {
+    rounds: Vec<ServerRound>,
 }
 
-struct Mailboxes {
-    senders: Vec<Sender<Frame>>,
+#[derive(Debug, Clone)]
+struct ServerRound {
+    /// FNV-1a digest of this server's parameters after the round.
+    model_digest: u64,
+    /// Gradient-quorum senders, canonical (sorted) order.
+    grad_quorum: Vec<usize>,
+    /// Exchange-quorum senders, canonical order (empty for 1 server).
+    exch_quorum: Vec<usize>,
 }
 
-impl Mailboxes {
-    fn send(&self, from: usize, to: usize, msg: &WireMsg) {
-        let payload = Arc::new(encode(msg));
-        // A disconnected peer (already shut down) is not an error.
-        let _ = self.senders[to].send(Frame { from, payload });
-    }
-
-    /// Encodes `msg` once and fans the same bytes out to every target.
-    fn broadcast(&self, from: usize, targets: impl Iterator<Item = usize>, msg: &WireMsg) {
-        let payload = Arc::new(encode(msg));
-        for to in targets {
-            let _ = self.senders[to].send(Frame {
-                from,
-                payload: Arc::clone(&payload),
-            });
+/// Folds per-server round logs into one [`Trace`]: round `r`'s digest
+/// covers every server's model hash (server order), every quorum
+/// composition, and the number of messages folded. The format matches the
+/// deterministic engines' *shape* but not their physics — compare
+/// threaded traces only with threaded traces (channel vs TCP), as
+/// DESIGN.md §6 prescribes for cross-engine fingerprints.
+fn assemble_trace(logs: &[ServerLog]) -> Trace {
+    let mut trace = Trace::new();
+    let rounds = logs.iter().map(|l| l.rounds.len()).min().unwrap_or(0);
+    for step in 0..rounds {
+        let mut model = DigestHasher::new();
+        let mut quorum = DigestHasher::new();
+        let mut messages = 0u64;
+        for log in logs {
+            let r = &log.rounds[step];
+            model.write_u64(r.model_digest);
+            quorum.write_indices(&r.grad_quorum);
+            quorum.write_indices(&r.exch_quorum);
+            messages += (r.grad_quorum.len() + r.exch_quorum.len()) as u64;
         }
+        trace.push(RoundDigest {
+            step: step as u64,
+            model_hash: model.finish(),
+            quorum_hash: quorum.finish(),
+            messages,
+        });
     }
+    trace
 }
 
 const POLL: Duration = Duration::from_millis(20);
+
+/// Announces a server's model to the workers. The tensor clone is a
+/// refcount bump and the frame is encoded once for all targets.
+fn broadcast_model(net: &mut dyn Transport, worker_ids: &[usize], step: u64, params: &Tensor) {
+    net.broadcast(
+        worker_ids,
+        &WireMsg::Model {
+            step,
+            params: params.clone(),
+        },
+    );
+}
 
 /// Takes the first `q` arrivals and re-orders them by sender id: the fold
 /// becomes a function of the received multiset rather than of OS-thread
 /// scheduling. With full quorums (`q` = sender count) the whole run is
 /// bit-reproducible; with partial quorums only the membership — never the
 /// fold order — remains timing-dependent.
-fn canonical_quorum(mut received: Vec<(usize, Tensor)>, q: usize) -> Vec<Tensor> {
+fn canonical_quorum(mut received: Vec<(usize, Tensor)>, q: usize) -> (Vec<usize>, Vec<Tensor>) {
     received.truncate(q);
     received.sort_by_key(|&(from, _)| from);
-    received.into_iter().map(|(_, t)| t).collect()
+    received.into_iter().unzip()
 }
 
-#[allow(clippy::too_many_arguments)]
 fn server_thread(
-    me: usize,
     cfg: RuntimeConfig,
     theta0: Tensor,
-    rx: Receiver<Frame>,
-    mail: Arc<Mailboxes>,
+    mut net: Box<dyn Transport>,
     done: Arc<AtomicBool>,
     gar: Box<dyn Gar>,
-) -> Tensor {
+) -> (Tensor, ServerLog, u64) {
     use std::collections::HashMap;
+    let me = net.me();
     let median = CoordinateWiseMedian::new();
     let mut params = theta0;
     let mut step = 0u64;
     let mut grads: HashMap<u64, Vec<(usize, Tensor)>> = HashMap::new();
     let mut exchanges: HashMap<u64, Vec<(usize, Tensor)>> = HashMap::new();
     let mut exchanging = false;
+    let mut round_grad_quorum: Vec<usize> = Vec::new();
+    let mut log = ServerLog::default();
     let servers = cfg.cluster.servers;
     let workers = cfg.cluster.workers;
-    let broadcast_model = |params: &Tensor, step: u64| {
-        // The tensor clone is a refcount bump and the frame is encoded once
-        // for all workers.
-        let msg = WireMsg::Model {
-            step,
-            params: params.clone(),
-        };
-        mail.broadcast(me, servers..servers + workers, &msg);
-    };
-    broadcast_model(&params, 0);
+    let worker_ids: Vec<usize> = (servers..servers + workers).collect();
+    let peer_servers: Vec<usize> = (0..servers).filter(|&s| s != me).collect();
+    broadcast_model(net.as_mut(), &worker_ids, 0, &params);
     loop {
         if done.load(Ordering::Relaxed) {
             break;
         }
-        let frame = match rx.recv_timeout(POLL) {
+        let frame = match net.recv_timeout(POLL) {
             Ok(f) => f,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvError::Timeout) => continue,
+            Err(RecvError::Closed) => break,
         };
         let msg = match decode(&frame.payload) {
             Ok(m) => m,
@@ -179,12 +226,14 @@ fn server_thread(
         if !exchanging {
             let q = cfg.cluster.worker_quorum;
             if grads.get(&step).is_some_and(|v| v.len() >= q) {
-                let received = canonical_quorum(grads.remove(&step).expect("checked"), q);
+                let (senders, received) =
+                    canonical_quorum(grads.remove(&step).expect("checked"), q);
                 if let Ok(agg) = gar.aggregate(&received) {
                     let lr = cfg.lr.at(step);
                     params.axpy(-lr, &agg).expect("fixed dims");
                     if servers > 1 {
                         exchanging = true;
+                        round_grad_quorum = senders;
                         exchanges
                             .entry(step)
                             .or_default()
@@ -193,13 +242,18 @@ fn server_thread(
                             step,
                             params: params.clone(),
                         };
-                        mail.broadcast(me, (0..servers).filter(|&s| s != me), &msg);
+                        net.broadcast(&peer_servers, &msg);
                     } else {
+                        log.rounds.push(ServerRound {
+                            model_digest: tensor_digest(&params),
+                            grad_quorum: senders,
+                            exch_quorum: Vec::new(),
+                        });
                         step += 1;
                         if step >= cfg.max_steps {
                             break;
                         }
-                        broadcast_model(&params, step);
+                        broadcast_model(net.as_mut(), &worker_ids, step, &params);
                     }
                 }
             }
@@ -207,48 +261,54 @@ fn server_thread(
         if exchanging {
             let q = cfg.cluster.server_quorum;
             if exchanges.get(&step).is_some_and(|v| v.len() >= q) {
-                let received = canonical_quorum(exchanges.remove(&step).expect("checked"), q);
+                let (senders, received) =
+                    canonical_quorum(exchanges.remove(&step).expect("checked"), q);
                 if let Ok(folded) = median.aggregate(&received) {
                     params = folded;
                 }
                 exchanging = false;
+                log.rounds.push(ServerRound {
+                    model_digest: tensor_digest(&params),
+                    grad_quorum: std::mem::take(&mut round_grad_quorum),
+                    exch_quorum: senders,
+                });
                 step += 1;
                 grads.retain(|&s, _| s >= step);
                 exchanges.retain(|&s, _| s >= step);
                 if step >= cfg.max_steps {
                     break;
                 }
-                broadcast_model(&params, step);
+                broadcast_model(net.as_mut(), &worker_ids, step, &params);
             }
         }
     }
-    params
+    net.shutdown();
+    let dropped = net.dropped_sends();
+    (params, log, dropped)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn worker_thread(
-    me: usize,
     cfg: RuntimeConfig,
     mut model: Sequential,
     mut batcher: Batcher,
     train: Arc<Dataset>,
-    rx: Receiver<Frame>,
-    mail: Arc<Mailboxes>,
+    mut net: Box<dyn Transport>,
     done: Arc<AtomicBool>,
-) {
+) -> u64 {
     use std::collections::HashMap;
     let median = CoordinateWiseMedian::new();
     let mut step = 0u64;
     let mut models: HashMap<u64, Vec<(usize, Tensor)>> = HashMap::new();
     let q = cfg.cluster.server_quorum;
-    loop {
+    let server_ids: Vec<usize> = (0..cfg.cluster.servers).collect();
+    'run: loop {
         if done.load(Ordering::Relaxed) {
             break;
         }
-        let frame = match rx.recv_timeout(POLL) {
+        let frame = match net.recv_timeout(POLL) {
             Ok(f) => f,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvError::Timeout) => continue,
+            Err(RecvError::Closed) => break,
         };
         if let Ok(WireMsg::Model { step: s, params }) = decode(&frame.payload) {
             if s >= step && params.is_finite() {
@@ -256,13 +316,13 @@ fn worker_thread(
             }
         }
         while models.get(&step).is_some_and(|v| v.len() >= q) {
-            let received = canonical_quorum(models.remove(&step).expect("checked"), q);
+            let (_, received) = canonical_quorum(models.remove(&step).expect("checked"), q);
             let folded = match median.aggregate(&received) {
                 Ok(f) => f,
-                Err(_) => break,
+                Err(_) => break 'run,
             };
             if model.set_param_vector(&folded).is_err() {
-                break;
+                break 'run;
             }
             model.zero_grads();
             let grad = batcher.next_batch(&train).ok().and_then(|(x, labels)| {
@@ -273,24 +333,23 @@ fn worker_thread(
             });
             let grad = match grad {
                 Some(g) => g,
-                None => break,
+                None => break 'run,
             };
-            let msg = WireMsg::Gradient { step, grad };
-            mail.broadcast(me, 0..cfg.cluster.servers, &msg);
+            net.broadcast(&server_ids, &WireMsg::Gradient { step, grad });
             step += 1;
             models.retain(|&s, _| s >= step);
         }
     }
+    net.shutdown();
+    net.dropped_sends()
 }
 
 fn byzantine_worker_thread(
-    me: usize,
     cfg: RuntimeConfig,
     mut attack: Box<dyn Attack>,
-    rx: Receiver<Frame>,
-    mail: Arc<Mailboxes>,
+    mut net: Box<dyn Transport>,
     done: Arc<AtomicBool>,
-) {
+) -> u64 {
     use std::collections::HashMap;
     let mut observed: HashMap<u64, Vec<Tensor>> = HashMap::new();
     let mut forged: HashMap<u64, bool> = HashMap::new();
@@ -298,10 +357,10 @@ fn byzantine_worker_thread(
         if done.load(Ordering::Relaxed) {
             break;
         }
-        let frame = match rx.recv_timeout(POLL) {
+        let frame = match net.recv_timeout(POLL) {
             Ok(f) => f,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvError::Timeout) => continue,
+            Err(RecvError::Closed) => break,
         };
         if let Ok(WireMsg::Model { step, params }) = decode(&frame.payload) {
             observed.entry(step).or_default().push(params);
@@ -313,10 +372,34 @@ fn byzantine_worker_thread(
             for (r, s) in (0..cfg.cluster.servers).enumerate() {
                 let view = AttackView::new(&honest, step, r);
                 if let Some(g) = attack.forge(&view) {
-                    mail.send(me, s, &WireMsg::Gradient { step, grad: g });
+                    net.send(s, &WireMsg::Gradient { step, grad: g });
                 }
             }
             observed.retain(|&s, _| s + 2 >= step);
+        }
+    }
+    net.shutdown();
+    net.dropped_sends()
+}
+
+/// Builds one endpoint per node on the configured interconnect. The TCP
+/// mesh skips worker↔worker links — the protocol never uses them, and at
+/// paper scale that halves the socket/thread count.
+fn build_endpoints(cfg: &RuntimeConfig) -> Result<Vec<Box<dyn Transport>>, GuanYuError> {
+    let total = cfg.cluster.servers + cfg.cluster.workers;
+    let servers = cfg.cluster.servers;
+    match cfg.transport {
+        TransportKind::Channel => Ok(ChannelTransport::mesh(total)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Transport>)
+            .collect()),
+        TransportKind::TcpLoopback => {
+            let mesh = TcpTransport::mesh(total, |a, b| a < servers || b < servers)
+                .map_err(|e| GuanYuError::Transport(format!("tcp mesh: {e}")))?;
+            Ok(mesh
+                .into_iter()
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+                .collect())
         }
     }
 }
@@ -327,7 +410,8 @@ fn byzantine_worker_thread(
 /// # Errors
 ///
 /// Returns [`GuanYuError::InvalidConfig`] for invalid configurations and
-/// when the run exceeds `wall_timeout`.
+/// when the run exceeds `wall_timeout`, [`GuanYuError::Transport`] when
+/// the interconnect cannot be built.
 pub fn run_cluster(
     cfg: &RuntimeConfig,
     model_builder: impl Fn(&mut TensorRng) -> Sequential,
@@ -351,42 +435,30 @@ pub fn run_cluster(
     let mut init_rng = rng.fork(0xA11);
     let theta0 = model_builder(&mut init_rng).param_vector();
 
-    let total = cfg.cluster.servers + cfg.cluster.workers;
-    let mut senders = Vec::with_capacity(total);
-    let mut receivers = Vec::with_capacity(total);
-    for _ in 0..total {
-        let (tx, rx) = channel::<Frame>();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-    let mail = Arc::new(Mailboxes { senders });
+    let mut endpoints = build_endpoints(cfg)?.into_iter();
     let done = Arc::new(AtomicBool::new(false));
     let train = Arc::new(train);
 
     let start = Instant::now();
     let mut server_handles = Vec::new();
-    let mut receivers = receivers.into_iter();
-    for s in 0..cfg.cluster.servers {
-        let rx = receivers.next().expect("one receiver per node");
+    for _ in 0..cfg.cluster.servers {
+        let net = endpoints.next().expect("one endpoint per node");
         let gar = cfg
             .server_gar
             .build(cfg.cluster.krum_f())
             .map_err(|e| GuanYuError::InvalidConfig(e.to_string()))?;
         let cfg = cfg.clone();
         let theta0 = theta0.clone();
-        let mail = Arc::clone(&mail);
         let done = Arc::clone(&done);
         server_handles.push(std::thread::spawn(move || {
-            server_thread(s, cfg, theta0, rx, mail, done, gar)
+            server_thread(cfg, theta0, net, done, gar)
         }));
     }
     let honest_workers = cfg.cluster.workers - cfg.actual_byz_workers;
     let mut worker_handles = Vec::new();
     for w in 0..cfg.cluster.workers {
-        let id = cfg.cluster.servers + w;
-        let rx = receivers.next().expect("one receiver per node");
+        let net = endpoints.next().expect("one endpoint per node");
         let cfg_c = cfg.clone();
-        let mail = Arc::clone(&mail);
         let done = Arc::clone(&done);
         if w < honest_workers {
             let mut worker_rng = rng.fork(0xB0B + w as u64);
@@ -394,7 +466,7 @@ pub fn run_cluster(
             let batcher = Batcher::new(train.len(), cfg.batch_size, cfg.seed ^ (w as u64) << 17);
             let train = Arc::clone(&train);
             worker_handles.push(std::thread::spawn(move || {
-                worker_thread(id, cfg_c, model, batcher, train, rx, mail, done)
+                worker_thread(cfg_c, model, batcher, train, net, done)
             }));
         } else {
             let attack = cfg
@@ -402,7 +474,7 @@ pub fn run_cluster(
                 .expect("validated above")
                 .build(cfg.seed ^ 0xEB1 ^ (w as u64) << 8);
             worker_handles.push(std::thread::spawn(move || {
-                byzantine_worker_thread(id, cfg_c, attack, rx, mail, done)
+                byzantine_worker_thread(cfg_c, attack, net, done)
             }));
         }
     }
@@ -410,25 +482,38 @@ pub fn run_cluster(
     // Join servers with a wall timeout (a stalled Byzantine-heavy run must
     // not hang the caller).
     let mut final_params = Vec::with_capacity(server_handles.len());
+    let mut server_logs = Vec::with_capacity(server_handles.len());
+    let mut dropped_sends = 0u64;
+    let mut timed_out = false;
     for h in server_handles {
         loop {
             if h.is_finished() {
-                final_params.push(h.join().expect("server thread panicked"));
+                let (params, log, dropped) = h.join().expect("server thread panicked");
+                final_params.push(params);
+                server_logs.push(log);
+                dropped_sends += dropped;
                 break;
             }
-            if start.elapsed() > cfg.wall_timeout {
+            if timed_out || start.elapsed() > cfg.wall_timeout {
+                // Flag every thread down, then keep draining the joins —
+                // even a failed run must not leak node or I/O threads.
+                timed_out = true;
                 done.store(true, Ordering::Relaxed);
-                return Err(GuanYuError::InvalidConfig(format!(
-                    "run exceeded wall timeout of {:?}",
-                    cfg.wall_timeout
-                )));
             }
             std::thread::sleep(POLL);
         }
     }
     done.store(true, Ordering::Relaxed);
     for h in worker_handles {
-        let _ = h.join();
+        if let Ok(dropped) = h.join() {
+            dropped_sends += dropped;
+        }
+    }
+    if timed_out {
+        return Err(GuanYuError::InvalidConfig(format!(
+            "run exceeded wall timeout of {:?}",
+            cfg.wall_timeout
+        )));
     }
 
     let updates = cfg.max_steps * cfg.cluster.servers as u64;
@@ -436,6 +521,8 @@ pub fn run_cluster(
         final_params,
         updates,
         wall_secs: start.elapsed().as_secs_f64(),
+        trace: assemble_trace(&server_logs),
+        dropped_sends,
     })
 }
 
@@ -469,6 +556,7 @@ mod tests {
         let report = run_cluster(&cfg, builder, train_data()).unwrap();
         assert_eq!(report.final_params.len(), 6);
         assert!(report.wall_secs > 0.0);
+        assert_eq!(report.trace.len(), 3, "one digest per completed round");
     }
 
     #[test]
@@ -530,5 +618,22 @@ mod tests {
         };
         let report = run_cluster(&cfg, builder, train_data()).unwrap();
         assert_eq!(report.final_params.len(), 1);
+        assert_eq!(report.trace.len(), 3);
+    }
+
+    #[test]
+    fn full_quorum_run_drops_nothing() {
+        // Full quorums: every server waits for every worker and every
+        // peer server, so nobody exits while traffic is still in flight.
+        let cfg = RuntimeConfig {
+            cluster: ClusterConfig::with_quorums(3, 0, 4, 0, 3, 4).unwrap(),
+            max_steps: 3,
+            ..RuntimeConfig::default_for_tests()
+        };
+        let report = run_cluster(&cfg, builder, train_data()).unwrap();
+        assert_eq!(
+            report.dropped_sends, 0,
+            "clean full-quorum run must not drop sends"
+        );
     }
 }

@@ -1,0 +1,234 @@
+//! The transport abstraction: how frames move between node threads.
+//!
+//! The protocol loops in `cluster.rs` are transport-agnostic — each node
+//! thread owns one [`Transport`] endpoint and only ever calls
+//! [`send`](Transport::send) / [`broadcast`](Transport::broadcast) /
+//! [`recv_timeout`](Transport::recv_timeout) /
+//! [`shutdown`](Transport::shutdown). Two implementations exist
+//! (DESIGN.md §7):
+//!
+//! * [`ChannelTransport`] — in-process `mpsc` channels, the original
+//!   engine: zero-copy fan-out (a broadcast encodes once and every
+//!   receiver holds the same `Arc`ed buffer);
+//! * [`TcpTransport`](crate::tcp::TcpTransport) — real loopback sockets
+//!   with length-prefixed stream framing, per-peer writer threads and an
+//!   id-carrying handshake.
+//!
+//! Both carry the *same bytes* ([`wire`](crate::wire) codec), and at full
+//! quorums both produce bit-identical runs — the cross-transport
+//! consistency contract `tests/engines_consistency.rs` pins.
+//!
+//! Failed sends are never silent: a send to a disconnected peer (one that
+//! already shut down) is *counted* via [`Transport::dropped_sends`], and
+//! the cluster surfaces the total in its report so tests can assert that
+//! clean full-quorum runs drop nothing.
+
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::wire::{encode, WireMsg};
+
+/// One received frame: the transport-level sender identity plus the raw
+/// frame bytes (decoded by the node thread, where malformed input is
+/// treated as Byzantine and dropped).
+#[derive(Debug, Clone)]
+pub struct Incoming {
+    /// Transport-level peer id of the sender (channel index, or the id the
+    /// TCP handshake carried). Receivers use it to fold quorums in
+    /// canonical sender order.
+    pub from: usize,
+    /// Raw frame bytes; `Arc` so a broadcast shares one buffer.
+    pub payload: Arc<Vec<u8>>,
+}
+
+/// Why a receive returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No frame arrived within the timeout; poll again.
+    Timeout,
+    /// The transport is closed — no frame can ever arrive again.
+    Closed,
+}
+
+/// A node's endpoint on some interconnect.
+///
+/// Send operations take `&mut self` — each endpoint belongs to exactly one
+/// node thread, and mutability lets implementations keep per-endpoint
+/// counters without atomics on the hot path.
+pub trait Transport: Send {
+    /// This endpoint's node id.
+    fn me(&self) -> usize;
+
+    /// Encodes and sends one message to `to`. A disconnected peer is not
+    /// an error (peers shut down independently) but the drop is counted.
+    fn send(&mut self, to: usize, msg: &WireMsg);
+
+    /// Encodes `msg` **once** and delivers the same bytes to every target.
+    fn broadcast(&mut self, targets: &[usize], msg: &WireMsg);
+
+    /// Blocks up to `timeout` for the next frame.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] when nothing arrived in time,
+    /// [`RecvError::Closed`] when the transport can deliver nothing more.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Incoming, RecvError>;
+
+    /// Sends that could not be delivered so far.
+    fn dropped_sends(&self) -> u64;
+
+    /// Tears the endpoint down: closes connections and joins every I/O
+    /// thread the endpoint spawned. Idempotent; called by the node thread
+    /// on exit so no run ever leaks a thread.
+    fn shutdown(&mut self);
+}
+
+/// Frame moving through the channel mesh.
+struct Frame {
+    from: usize,
+    payload: Arc<Vec<u8>>,
+}
+
+/// In-process transport: one `mpsc` channel per node, shared sender set.
+///
+/// This is the PR-3 "zero-copy gradient plane" engine behind the trait: a
+/// broadcast encodes one frame and every receiver's mailbox holds the same
+/// `Arc<Vec<u8>>`.
+pub struct ChannelTransport {
+    me: usize,
+    senders: Arc<Vec<Sender<Frame>>>,
+    rx: Receiver<Frame>,
+    dropped: u64,
+}
+
+impl ChannelTransport {
+    /// Builds a fully-connected mesh of `n` endpoints (node `i` owns the
+    /// `i`-th element).
+    pub fn mesh(n: usize) -> Vec<ChannelTransport> {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::<Frame>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(me, rx)| ChannelTransport {
+                me,
+                senders: Arc::clone(&senders),
+                rx,
+                dropped: 0,
+            })
+            .collect()
+    }
+
+    fn send_frame(&mut self, to: usize, payload: Arc<Vec<u8>>) {
+        // A disconnected peer already shut down; count the drop so clean
+        // runs can assert none happened.
+        if self.senders[to]
+            .send(Frame {
+                from: self.me,
+                payload,
+            })
+            .is_err()
+        {
+            self.dropped += 1;
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn me(&self) -> usize {
+        self.me
+    }
+
+    fn send(&mut self, to: usize, msg: &WireMsg) {
+        self.send_frame(to, Arc::new(encode(msg)));
+    }
+
+    fn broadcast(&mut self, targets: &[usize], msg: &WireMsg) {
+        let payload = Arc::new(encode(msg));
+        for &to in targets {
+            self.send_frame(to, Arc::clone(&payload));
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Incoming, RecvError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(f) => Ok(Incoming {
+                from: f.from,
+                payload: f.payload,
+            }),
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
+        }
+    }
+
+    fn dropped_sends(&self) -> u64 {
+        self.dropped
+    }
+
+    fn shutdown(&mut self) {
+        // Channels tear themselves down on drop; nothing to join.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::decode;
+    use tensor::Tensor;
+
+    fn msg(step: u64) -> WireMsg {
+        WireMsg::Gradient {
+            step,
+            grad: Tensor::from_flat(vec![1.0, 2.0]),
+        }
+    }
+
+    #[test]
+    fn channel_mesh_routes_by_id() {
+        let mut mesh = ChannelTransport::mesh(3);
+        let mut n2 = mesh.pop().unwrap();
+        let mut n1 = mesh.pop().unwrap();
+        let mut n0 = mesh.pop().unwrap();
+        n0.send(2, &msg(7));
+        n1.send(2, &msg(8));
+        let a = n2.recv_timeout(Duration::from_secs(1)).unwrap();
+        let b = n2.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!((a.from, b.from), (0, 1));
+        assert_eq!(decode(&a.payload).unwrap(), msg(7));
+        assert!(matches!(
+            n0.recv_timeout(Duration::from_millis(5)),
+            Err(RecvError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn channel_broadcast_shares_one_buffer() {
+        let mut mesh = ChannelTransport::mesh(3);
+        let mut n2 = mesh.pop().unwrap();
+        let mut n1 = mesh.pop().unwrap();
+        let mut n0 = mesh.pop().unwrap();
+        n0.broadcast(&[1, 2], &msg(1));
+        let a = n1.recv_timeout(Duration::from_secs(1)).unwrap();
+        let b = n2.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(Arc::ptr_eq(&a.payload, &b.payload), "fan-out must share");
+    }
+
+    #[test]
+    fn disconnected_peer_counts_a_drop() {
+        let mut mesh = ChannelTransport::mesh(2);
+        let n1 = mesh.pop().unwrap();
+        let mut n0 = mesh.pop().unwrap();
+        drop(n1); // peer shut down
+        assert_eq!(n0.dropped_sends(), 0);
+        n0.send(1, &msg(0));
+        n0.broadcast(&[1], &msg(1));
+        assert_eq!(n0.dropped_sends(), 2);
+    }
+}

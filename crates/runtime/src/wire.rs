@@ -1,6 +1,6 @@
 //! Binary wire format for protocol messages.
 //!
-//! Layout (little-endian):
+//! Frame layout (little-endian):
 //!
 //! ```text
 //! [ type: u8 ][ step: u64 ][ len: u32 ][ payload: f32 × len ]
@@ -15,6 +15,14 @@
 //! intermediate copy of the payload), and [`encode_into`] reuses a caller
 //! scratch buffer so a broadcast can encode once and fan the same bytes out
 //! to every receiver.
+//!
+//! Both transports (DESIGN.md §7) share this codec. The channel transport
+//! moves whole frames, so [`decode`] alone suffices; the TCP transport sees
+//! an undelimited byte stream, so each frame travels behind a `u32`
+//! length prefix and [`StreamDecoder`] re-assembles frames incrementally.
+//! The prefix is validated against [`MAX_FRAME_BYTES`] *before* any
+//! allocation — a Byzantine peer cannot make a receiver reserve gigabytes
+//! by lying about the length.
 
 use tensor::Tensor;
 
@@ -25,6 +33,16 @@ const TAG_EXCHANGE: u8 = 3;
 
 /// Frame header size: tag + step + payload length.
 const HEADER: usize = 1 + 8 + 4;
+
+/// Hard cap on a frame's element count (2^26 ≈ 67M coordinates, ~38× the
+/// paper's d ≈ 1.75M — far above any real model here, far below anything
+/// that could exhaust memory).
+pub const MAX_ELEMS: u32 = 1 << 26;
+
+/// Hard cap on a whole frame's size in bytes, enforced by both [`decode`]
+/// (on the element count) and [`StreamDecoder`] (on the stream-level
+/// length prefix, before buffering).
+pub const MAX_FRAME_BYTES: usize = HEADER + MAX_ELEMS as usize * 4;
 
 /// A decoded protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,8 +109,10 @@ pub enum WireError {
     },
     /// Unknown message-type tag.
     BadTag(u8),
-    /// The declared payload length is implausible (> 2^28 elements).
+    /// The declared payload length is implausible (> [`MAX_ELEMS`]).
     LengthOutOfRange(u32),
+    /// A stream-level length prefix exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge(u32),
 }
 
 impl std::fmt::Display for WireError {
@@ -103,6 +123,9 @@ impl std::fmt::Display for WireError {
             }
             WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
             WireError::LengthOutOfRange(n) => write!(f, "payload length {n} out of range"),
+            WireError::FrameTooLarge(n) => {
+                write!(f, "stream frame of {n} bytes exceeds cap {MAX_FRAME_BYTES}")
+            }
         }
     }
 }
@@ -147,7 +170,7 @@ pub fn decode(frame: &[u8]) -> Result<WireMsg, WireError> {
     let tag = frame[0];
     let step = u64::from_le_bytes(frame[1..9].try_into().expect("8 header bytes"));
     let len = u32::from_le_bytes(frame[9..13].try_into().expect("4 header bytes"));
-    if len > (1 << 28) {
+    if len > MAX_ELEMS {
         return Err(WireError::LengthOutOfRange(len));
     }
     let need = len as usize * 4;
@@ -169,6 +192,104 @@ pub fn decode(frame: &[u8]) -> Result<WireMsg, WireError> {
         TAG_EXCHANGE => Ok(WireMsg::Exchange { step, params: vec }),
         t => Err(WireError::BadTag(t)),
     }
+}
+
+/// Incremental decoder for a length-prefixed byte *stream* of frames, as
+/// carried over TCP:
+///
+/// ```text
+/// [ nbytes: u32 ][ frame: nbytes bytes ] [ nbytes: u32 ][ frame ] …
+/// ```
+///
+/// Feed arbitrary chunks with [`extend`](Self::extend) (TCP delivers bytes
+/// at whatever granularity it likes) and drain complete frames with
+/// [`next_frame`](Self::next_frame). The decoder is *fallible, never
+/// panicking*: an over-cap length prefix poisons the stream with
+/// [`WireError::FrameTooLarge`] before a single payload byte is buffered —
+/// after any error the connection cannot be re-synchronised and must be
+/// closed (the Byzantine-peer convention, DESIGN.md §7).
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily to amortise the memmove).
+    start: usize,
+}
+
+/// Stream-level length prefix size.
+const PREFIX: usize = 4;
+
+impl StreamDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes received from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by one frame
+        // plus one read chunk regardless of how long the stream runs.
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > (1 << 16) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete frame's bytes, `Ok(None)` when more input is
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::FrameTooLarge`] when the length prefix exceeds
+    /// [`MAX_FRAME_BYTES`]. The stream is unrecoverable after an error.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < PREFIX {
+            return Ok(None);
+        }
+        let nbytes = u32::from_le_bytes(avail[..PREFIX].try_into().expect("4 prefix bytes"));
+        if nbytes as usize > MAX_FRAME_BYTES {
+            return Err(WireError::FrameTooLarge(nbytes));
+        }
+        let total = PREFIX + nbytes as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let frame = avail[PREFIX..total].to_vec();
+        self.start += total;
+        Ok(Some(frame))
+    }
+
+    /// Pops and decodes the next complete message (frame re-assembly plus
+    /// [`decode`] in one step).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from the prefix check or the frame codec.
+    pub fn next_msg(&mut self) -> Result<Option<WireMsg>, WireError> {
+        match self.next_frame()? {
+            Some(frame) => decode(&frame).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Length-prefixes one already-encoded frame for the stream layer (the
+/// inverse of [`StreamDecoder`]). A broadcast encodes the frame once and
+/// each per-peer writer prefixes it independently.
+pub fn prefix_frame(frame: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(PREFIX + frame.len());
+    out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+    out.extend_from_slice(frame);
 }
 
 #[cfg(test)]
@@ -254,6 +375,62 @@ mod tests {
         frame.extend_from_slice(&u32::MAX.to_le_bytes());
         let err = decode(&frame).unwrap_err();
         assert!(matches!(err, WireError::LengthOutOfRange(_)));
+    }
+
+    #[test]
+    fn stream_decoder_reassembles_byte_at_a_time() {
+        let msgs: Vec<WireMsg> = [TAG_MODEL, TAG_GRADIENT, TAG_EXCHANGE]
+            .into_iter()
+            .map(sample)
+            .collect();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            let mut prefixed = Vec::new();
+            prefix_frame(&encode(m), &mut prefixed);
+            stream.extend_from_slice(&prefixed);
+        }
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        for b in stream {
+            dec.extend(&[b]);
+            while let Some(m) = dec.next_msg().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, msgs);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn stream_decoder_rejects_oversized_prefix_before_buffering() {
+        let mut dec = StreamDecoder::new();
+        dec.extend(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            dec.next_frame().unwrap_err(),
+            WireError::FrameTooLarge(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn stream_decoder_waits_for_partial_frames() {
+        let mut prefixed = Vec::new();
+        prefix_frame(&encode(&sample(TAG_MODEL)), &mut prefixed);
+        let mut dec = StreamDecoder::new();
+        dec.extend(&prefixed[..prefixed.len() - 1]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        dec.extend(&prefixed[prefixed.len() - 1..]);
+        assert_eq!(dec.next_msg().unwrap().unwrap(), sample(TAG_MODEL));
+    }
+
+    #[test]
+    fn stream_decoder_surfaces_codec_errors() {
+        let mut frame = encode(&sample(TAG_MODEL));
+        frame[0] = 77; // corrupt the tag, keep the stream framing valid
+        let mut prefixed = Vec::new();
+        prefix_frame(&frame, &mut prefixed);
+        let mut dec = StreamDecoder::new();
+        dec.extend(&prefixed);
+        assert_eq!(dec.next_msg().unwrap_err(), WireError::BadTag(77));
     }
 
     #[test]

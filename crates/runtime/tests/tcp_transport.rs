@@ -1,0 +1,182 @@
+//! TCP loopback engine: end-to-end cluster runs over real sockets.
+//!
+//! These tests cross the kernel's TCP stack, so CI runs them
+//! single-threaded (`--test-threads=1`); they are written to also pass
+//! under the default parallel harness (the thread-leak check tolerates
+//! unrelated harness threads).
+
+use std::time::Duration;
+
+use byzantine::AttackKind;
+use data::{synthetic_cifar, Dataset, SyntheticConfig};
+use guanyu::config::ClusterConfig;
+use guanyu_runtime::{run_cluster, ClusterReport, RuntimeConfig, TransportKind};
+use nn::{models, Sequential};
+use tensor::TensorRng;
+
+fn train_data(seed: u64) -> Dataset {
+    synthetic_cifar(&SyntheticConfig {
+        train: 64,
+        test: 0,
+        side: 8,
+        seed,
+        ..Default::default()
+    })
+    .unwrap()
+    .0
+}
+
+fn builder(rng: &mut TensorRng) -> Sequential {
+    models::small_cnn(8, 2, 10, rng)
+}
+
+/// Small full-quorum cluster: 3 servers, 4 workers, every quorum waits
+/// for every sender — the bit-reproducible regime.
+fn full_quorum_cfg(transport: TransportKind) -> RuntimeConfig {
+    RuntimeConfig {
+        cluster: ClusterConfig::with_quorums(3, 0, 4, 0, 3, 4).unwrap(),
+        max_steps: 3,
+        batch_size: 8,
+        seed: 42,
+        wall_timeout: Duration::from_secs(120),
+        transport,
+        ..RuntimeConfig::default_for_tests()
+    }
+}
+
+fn run(transport: TransportKind) -> ClusterReport {
+    run_cluster(&full_quorum_cfg(transport), builder, train_data(42)).unwrap()
+}
+
+/// Threads of this process, from `/proc` (Linux; `None` elsewhere).
+fn live_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+#[test]
+fn tcp_cluster_completes_and_drops_nothing() {
+    let report = run(TransportKind::TcpLoopback);
+    assert_eq!(report.final_params.len(), 3);
+    assert_eq!(report.trace.len(), 3, "one digest per round");
+    assert_eq!(
+        report.dropped_sends, 0,
+        "clean full-quorum TCP run must not drop sends"
+    );
+}
+
+#[test]
+fn tcp_run_is_bit_identical_to_channel_run() {
+    let tcp = run(TransportKind::TcpLoopback);
+    let chan = run(TransportKind::Channel);
+    assert_eq!(
+        tcp.trace, chan.trace,
+        "per-round digests must match across transports"
+    );
+    assert_eq!(tcp.trace.fingerprint(), chan.trace.fingerprint());
+    for (i, (a, b)) in tcp.final_params.iter().zip(&chan.final_params).enumerate() {
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "server {i}: TCP and channel transports diverged"
+        );
+    }
+}
+
+#[test]
+fn tcp_tolerates_byzantine_workers() {
+    // Partial quorums + forged gradients: the adversarial path over real
+    // sockets. (Not bit-reproducible — just safety.)
+    let cfg = RuntimeConfig {
+        cluster: ClusterConfig::new(6, 1, 9, 2).unwrap(),
+        max_steps: 3,
+        batch_size: 8,
+        seed: 7,
+        actual_byz_workers: 2,
+        worker_attack: Some(AttackKind::Random { scale: 100.0 }),
+        wall_timeout: Duration::from_secs(120),
+        transport: TransportKind::TcpLoopback,
+        ..RuntimeConfig::default_for_tests()
+    };
+    let report = run_cluster(&cfg, builder, train_data(7)).unwrap();
+    assert_eq!(report.final_params.len(), 6);
+    for p in &report.final_params {
+        assert!(p.is_finite(), "attack must not corrupt honest servers");
+    }
+}
+
+/// Repeated runs: fingerprints never drift, and every spawned thread —
+/// node, reader, writer — is joined by the time `run_cluster` returns.
+#[test]
+fn tcp_shutdown_stress_no_leaks_and_stable_fingerprints() {
+    // Baseline *after* a warm-up run, so one-time allocations (harness
+    // threads, lazily spawned helpers) do not read as leaks.
+    let first = run(TransportKind::TcpLoopback).trace.fingerprint();
+    let baseline = live_threads();
+    for round in 0..4 {
+        let report = run(TransportKind::TcpLoopback);
+        assert_eq!(
+            report.trace.fingerprint(),
+            first,
+            "round {round}: fingerprint drifted across repeated runs"
+        );
+        assert_eq!(report.dropped_sends, 0, "round {round}: dropped sends");
+    }
+    if let Some(base) = baseline {
+        // Every node thread is joined before run_cluster returns, and each
+        // node joins its own I/O threads on shutdown — so the count must
+        // return to baseline. Poll briefly: the harness itself may be
+        // winding concurrent tests up or down.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut now = live_threads().unwrap_or(usize::MAX);
+        while now > base && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50));
+            now = live_threads().unwrap_or(usize::MAX);
+        }
+        assert!(
+            now <= base,
+            "leaked threads: {now} live after runs vs baseline {base}"
+        );
+    }
+}
+
+/// The wall-timeout abort path must also tear everything down: a run too
+/// long for its deadline errors out, and no node or I/O thread survives.
+#[test]
+fn tcp_wall_timeout_aborts_without_leaking() {
+    let baseline = live_threads();
+    let cfg = RuntimeConfig {
+        cluster: ClusterConfig::new(6, 1, 9, 2).unwrap(),
+        // Far more steps than a few milliseconds allow: the timeout fires
+        // mid-run, while traffic is genuinely in flight.
+        max_steps: 100_000,
+        batch_size: 8,
+        seed: 3,
+        wall_timeout: Duration::from_millis(200),
+        transport: TransportKind::TcpLoopback,
+        ..RuntimeConfig::default_for_tests()
+    };
+    let err = run_cluster(&cfg, builder, train_data(3)).unwrap_err();
+    assert!(
+        err.to_string().contains("wall timeout"),
+        "expected a wall-timeout error, got: {err}"
+    );
+    if let Some(base) = baseline {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut now = live_threads().unwrap_or(usize::MAX);
+        while now > base && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50));
+            now = live_threads().unwrap_or(usize::MAX);
+        }
+        assert!(
+            now <= base,
+            "timeout path leaked threads: {now} vs baseline {base}"
+        );
+    }
+}

@@ -1,10 +1,23 @@
 //! Fuzz-style property tests for the wire codec: a Byzantine peer controls
 //! every byte on the channel, so `decode` must be total — any input yields
 //! `Ok` or a structured error, never a panic, and valid frames round-trip.
+//! The same contract extends to the stream layer (`StreamDecoder`): the
+//! TCP transport feeds it raw socket bytes at arbitrary granularity, and
+//! it must re-assemble honestly framed streams exactly while rejecting
+//! over-cap prefixes before buffering a single payload byte.
 
-use guanyu_runtime::{decode, encode, WireMsg};
+use guanyu_runtime::{decode, encode, prefix_frame, StreamDecoder, WireMsg, MAX_FRAME_BYTES};
 use proptest::prelude::*;
 use tensor::Tensor;
+
+fn build_msg(tag: u8, step: u64, payload: Vec<f32>) -> WireMsg {
+    let t = Tensor::from_flat(payload);
+    match tag {
+        0 => WireMsg::Model { step, params: t },
+        1 => WireMsg::Gradient { step, grad: t },
+        _ => WireMsg::Exchange { step, params: t },
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -22,12 +35,7 @@ proptest! {
         step in any::<u64>(),
         payload in proptest::collection::vec(-1e6f32..1e6, 0..64),
     ) {
-        let t = Tensor::from_flat(payload);
-        let msg = match tag {
-            0 => WireMsg::Model { step, params: t },
-            1 => WireMsg::Gradient { step, grad: t },
-            _ => WireMsg::Exchange { step, params: t },
-        };
+        let msg = build_msg(tag, step, payload);
         let back = decode(&encode(&msg)).unwrap();
         prop_assert_eq!(back, msg);
     }
@@ -55,5 +63,101 @@ proptest! {
         let mut frame = encode(&msg);
         frame[0] = new_tag;
         let _ = decode(&frame); // totality is the property
+    }
+
+    /// Stream re-assembly is exact regardless of chunk boundaries: a
+    /// sequence of messages, prefixed and concatenated, then delivered in
+    /// arbitrary-size chunks, decodes back to exactly that sequence.
+    #[test]
+    fn stream_reassembly_is_chunking_invariant(
+        specs in proptest::collection::vec(
+            (0u8..3, any::<u64>(), proptest::collection::vec(-1e3f32..1e3, 0..24)),
+            0..8,
+        ),
+        chunk_size in 1usize..64,
+    ) {
+        let msgs: Vec<WireMsg> = specs
+            .into_iter()
+            .map(|(tag, step, payload)| build_msg(tag, step, payload))
+            .collect();
+        let mut stream = Vec::new();
+        let mut prefixed = Vec::new();
+        for m in &msgs {
+            prefix_frame(&encode(m), &mut prefixed);
+            stream.extend_from_slice(&prefixed);
+        }
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        for chunk in stream.chunks(chunk_size) {
+            dec.extend(chunk);
+            while let Some(m) = dec.next_msg().unwrap() {
+                out.push(m);
+            }
+        }
+        prop_assert_eq!(out, msgs);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// The stream decoder is total on arbitrary bytes: garbage yields
+    /// frames, `None`, or a structured error — never a panic — and an
+    /// over-cap length prefix is always rejected.
+    #[test]
+    fn stream_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut dec = StreamDecoder::new();
+        dec.extend(&bytes);
+        loop {
+            match dec.next_frame() {
+                Ok(Some(frame)) => prop_assert!(frame.len() <= MAX_FRAME_BYTES),
+                Ok(None) => break,
+                Err(_) => break, // poisoned stream: the reader closes it
+            }
+        }
+    }
+
+    /// An over-cap length prefix errors immediately — before the decoder
+    /// buffers (or waits for) a single payload byte.
+    #[test]
+    fn oversized_prefix_rejected_eagerly(
+        excess in 1u32..4097,
+        noise in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let bad = (MAX_FRAME_BYTES as u32).saturating_add(excess);
+        let mut dec = StreamDecoder::new();
+        dec.extend(&bad.to_le_bytes());
+        dec.extend(&noise);
+        prop_assert!(dec.next_frame().is_err());
+    }
+
+    /// Truncating a prefixed stream anywhere never yields a phantom
+    /// message: the decoder returns strictly a prefix of the original
+    /// sequence, then waits for more input (or errors) — it never invents
+    /// or reorders frames.
+    #[test]
+    fn stream_truncation_yields_a_prefix(
+        specs in proptest::collection::vec(
+            (0u8..3, any::<u64>(), proptest::collection::vec(-1e3f32..1e3, 0..16)),
+            1..6,
+        ),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let msgs: Vec<WireMsg> = specs
+            .into_iter()
+            .map(|(tag, step, payload)| build_msg(tag, step, payload))
+            .collect();
+        let mut stream = Vec::new();
+        let mut prefixed = Vec::new();
+        for m in &msgs {
+            prefix_frame(&encode(m), &mut prefixed);
+            stream.extend_from_slice(&prefixed);
+        }
+        let cut = ((stream.len() as f64) * cut_frac) as usize;
+        let mut dec = StreamDecoder::new();
+        dec.extend(&stream[..cut]);
+        let mut out = Vec::new();
+        while let Ok(Some(m)) = dec.next_msg() {
+            out.push(m);
+        }
+        prop_assert!(out.len() <= msgs.len());
+        prop_assert_eq!(&msgs[..out.len()], &out[..]);
     }
 }

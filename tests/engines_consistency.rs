@@ -12,7 +12,7 @@ use guanyu::cost::CostModel;
 use guanyu::lockstep::{LockstepConfig, LockstepTrainer};
 use guanyu::metrics::evaluate;
 use guanyu::protocol::{build_simulation, ProtocolConfig};
-use guanyu_runtime::{run_cluster, RuntimeConfig};
+use guanyu_runtime::{run_cluster, ClusterReport, RuntimeConfig, TransportKind};
 use nn::{models, LrSchedule, Sequential};
 use simnet::DelayModel;
 use tensor::{Tensor, TensorRng};
@@ -164,4 +164,46 @@ fn event_driven_and_threaded_tolerate_byzantine_workers() {
         acc_threaded > 0.3,
         "threaded engine under attack got {acc_threaded}"
     );
+}
+
+/// The TCP loopback engine is the *same protocol over different physics*
+/// as the channel-backed threaded runtime. At full quorums (every fold
+/// waits for the complete sender set, folded in canonical sender order)
+/// both runs are pure functions of seed and config, so their
+/// `guanyu::trace` digests — model hashes, quorum compositions, message
+/// counts, round by round — must be **bit-identical**, and so must the
+/// final models.
+#[test]
+fn tcp_engine_matches_channel_engine_trace_for_trace() {
+    let run = |transport: TransportKind| -> ClusterReport {
+        let (train, _) = dataset();
+        let cfg = RuntimeConfig {
+            cluster: ClusterConfig::with_quorums(3, 0, 4, 0, 3, 4).unwrap(),
+            max_steps: 6,
+            batch_size: 16,
+            seed: 11,
+            wall_timeout: Duration::from_secs(120),
+            transport,
+            ..RuntimeConfig::default_for_tests()
+        };
+        run_cluster(&cfg, builder, train).unwrap()
+    };
+    let chan = run(TransportKind::Channel);
+    let tcp = run(TransportKind::TcpLoopback);
+
+    assert_eq!(chan.trace.len(), 6, "channel engine recorded every round");
+    assert_eq!(
+        chan.trace, tcp.trace,
+        "per-round digests diverged between channel and TCP transports"
+    );
+    assert_eq!(chan.trace.fingerprint(), tcp.trace.fingerprint());
+    for (i, (a, b)) in chan.final_params.iter().zip(&tcp.final_params).enumerate() {
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "server {i}: final params diverged between transports"
+        );
+    }
+    assert_eq!(chan.dropped_sends, 0, "clean channel run dropped sends");
+    assert_eq!(tcp.dropped_sends, 0, "clean TCP run dropped sends");
 }

@@ -14,7 +14,7 @@ use guanyu::config::ClusterConfig;
 use guanyu::cost::CostModel;
 use guanyu::experiment::{build_trainer, ExperimentConfig, SystemKind};
 use guanyu::protocol::{build_simulation, ProtocolConfig};
-use guanyu_runtime::{run_cluster, RuntimeConfig};
+use guanyu_runtime::{run_cluster, RuntimeConfig, TransportKind};
 use nn::{models, LrSchedule, Sequential};
 use simnet::DelayModel;
 use tensor::{Tensor, TensorRng};
@@ -114,6 +114,44 @@ fn threaded_engine_is_bit_reproducible_at_full_quorums() {
         run_cluster(&cfg, builder, train).unwrap().final_params
     };
     assert_bit_identical("threaded", &run(), &run());
+}
+
+/// The same full-quorum property over real TCP loopback sockets: kernel
+/// scheduling, socket buffering and reader-thread interleaving may vary
+/// freely between runs, but the canonical sender-sorted fold makes the
+/// result — final params *and* the per-round `guanyu::trace` digests — a
+/// pure function of the seed.
+#[test]
+fn tcp_engine_is_bit_reproducible_at_full_quorums() {
+    let run = || {
+        let cfg = RuntimeConfig {
+            cluster: ClusterConfig::with_quorums(3, 0, 4, 0, 3, 4).unwrap(),
+            max_steps: 4,
+            batch_size: 8,
+            seed: 77,
+            wall_timeout: Duration::from_secs(120),
+            transport: TransportKind::TcpLoopback,
+            ..RuntimeConfig::default_for_tests()
+        };
+        let train = synthetic_cifar(&SyntheticConfig {
+            train: 64,
+            test: 0,
+            side: 8,
+            seed: 77,
+            ..Default::default()
+        })
+        .unwrap()
+        .0;
+        run_cluster(&cfg, builder, train).unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_bit_identical("tcp", &a.final_params, &b.final_params);
+    assert_eq!(
+        a.trace.fingerprint(),
+        b.trace.fingerprint(),
+        "tcp: trace fingerprints differ between identical runs"
+    );
+    assert_eq!(a.trace, b.trace);
 }
 
 /// Different seeds must *not* collide (guards against the reproducibility
