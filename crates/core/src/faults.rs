@@ -75,7 +75,83 @@ pub enum FaultKind {
     },
 }
 
+/// Both non-empty strict-subset halves of a scope list (first half, then
+/// second), for scope shrinking. Empty when the list has ≤ 1 entries —
+/// removing the whole window is the shrinker's job, not this function's.
+fn scope_halves(xs: &[usize]) -> Vec<Vec<usize>> {
+    if xs.len() <= 1 {
+        return Vec::new();
+    }
+    let mid = xs.len() / 2;
+    vec![xs[..mid].to_vec(), xs[mid..].to_vec()]
+}
+
 impl FaultKind {
+    /// Strictly weaker variants of this fault, strongest reduction first.
+    ///
+    /// This is the intensity/scope ladder the chaos shrinker
+    /// (`scenario::shrink`) descends after delta-debugging whole windows
+    /// away: it replaces a window's kind with the first candidate that
+    /// still reproduces the violation and repeats until none does. Every
+    /// candidate strictly reduces a measure (named-node count, churn pool,
+    /// or a halved delay bounded below by a floor), so the descent
+    /// terminates. An empty vector means the kind is already minimal —
+    /// partition groups and attack gates have no meaningful "half".
+    pub fn weakened(&self) -> Vec<FaultKind> {
+        match self {
+            FaultKind::CrashServers { servers } => scope_halves(servers)
+                .into_iter()
+                .map(|servers| FaultKind::CrashServers { servers })
+                .collect(),
+            FaultKind::CrashWorkers { workers } => scope_halves(workers)
+                .into_iter()
+                .map(|workers| FaultKind::CrashWorkers { workers })
+                .collect(),
+            FaultKind::DelaySpike { factor, extra_secs } => {
+                let mut out = Vec::new();
+                if *factor > 1.01 {
+                    out.push(FaultKind::DelaySpike {
+                        factor: 1.0 + (factor - 1.0) / 2.0,
+                        extra_secs: *extra_secs,
+                    });
+                }
+                if *extra_secs > 1e-4 {
+                    out.push(FaultKind::DelaySpike {
+                        factor: *factor,
+                        extra_secs: extra_secs / 2.0,
+                    });
+                }
+                out
+            }
+            FaultKind::StragglerWorkers {
+                workers,
+                extra_secs,
+            } => {
+                let mut out: Vec<FaultKind> = scope_halves(workers)
+                    .into_iter()
+                    .map(|workers| FaultKind::StragglerWorkers {
+                        workers,
+                        extra_secs: *extra_secs,
+                    })
+                    .collect();
+                if *extra_secs > 1e-3 {
+                    out.push(FaultKind::StragglerWorkers {
+                        workers: workers.clone(),
+                        extra_secs: extra_secs / 2.0,
+                    });
+                }
+                out
+            }
+            FaultKind::WorkerChurn { period, pool } if *pool > 1 => {
+                vec![FaultKind::WorkerChurn {
+                    period: *period,
+                    pool: pool / 2,
+                }]
+            }
+            _ => Vec::new(),
+        }
+    }
+
     /// Short class label for manifests and trace output.
     pub fn label(&self) -> &'static str {
         match self {
@@ -411,6 +487,78 @@ mod tests {
             FaultKind::WorkerChurn { period: 1, pool: 1 }.label(),
             "churn"
         );
+    }
+
+    #[test]
+    fn weakened_halves_scopes_and_intensities() {
+        let crash = FaultKind::CrashServers {
+            servers: vec![0, 1, 2, 3],
+        };
+        assert_eq!(
+            crash.weakened(),
+            vec![
+                FaultKind::CrashServers {
+                    servers: vec![0, 1]
+                },
+                FaultKind::CrashServers {
+                    servers: vec![2, 3]
+                },
+            ]
+        );
+        let spike = FaultKind::DelaySpike {
+            factor: 9.0,
+            extra_secs: 0.04,
+        };
+        let weaker = spike.weakened();
+        assert_eq!(weaker.len(), 2);
+        assert_eq!(
+            weaker[0],
+            FaultKind::DelaySpike {
+                factor: 5.0,
+                extra_secs: 0.04
+            }
+        );
+        assert_eq!(
+            weaker[1],
+            FaultKind::DelaySpike {
+                factor: 9.0,
+                extra_secs: 0.02
+            }
+        );
+        assert_eq!(
+            FaultKind::WorkerChurn { period: 2, pool: 4 }.weakened(),
+            vec![FaultKind::WorkerChurn { period: 2, pool: 2 }]
+        );
+    }
+
+    #[test]
+    fn weakened_terminates_at_minimal_kinds() {
+        // Single-node scopes, unit pools and attack gates are already
+        // minimal — the descent must bottom out.
+        for kind in [
+            FaultKind::CrashServers { servers: vec![3] },
+            FaultKind::CrashWorkers { workers: vec![0] },
+            FaultKind::WorkerChurn { period: 1, pool: 1 },
+            FaultKind::WorkerAttack,
+            FaultKind::ServerAttack,
+            FaultKind::PartitionServers {
+                groups: vec![vec![0, 1], vec![2]],
+            },
+        ] {
+            assert!(kind.weakened().is_empty(), "{kind:?}");
+        }
+        // Every ladder is finite: repeatedly taking the first candidate
+        // reaches a minimal kind in bounded steps.
+        let mut kind = FaultKind::DelaySpike {
+            factor: 1000.0,
+            extra_secs: 1.0,
+        };
+        let mut steps = 0;
+        while let Some(next) = kind.weakened().into_iter().next() {
+            kind = next;
+            steps += 1;
+            assert!(steps < 64, "weakening ladder must terminate");
+        }
     }
 
     #[test]

@@ -553,7 +553,11 @@ struct ByzantineServerNode {
 
 impl ByzantineServerNode {
     fn forge_round(&mut self, step: u64, ctx: &mut Context<'_, Msg>) {
-        if self.forged_for.contains_key(&step) {
+        // Honest nodes stop at `max_steps`, and with two colluding
+        // Byzantine servers each forged Exchange would otherwise trigger
+        // the peer to forge the *next* step in an unbounded ping-pong
+        // that outlives the protocol (found by chaos search).
+        if step >= self.cfg.max_steps || self.forged_for.contains_key(&step) {
             return;
         }
         if !crate::faults::windows_allow(&self.cfg.server_attack_windows, step) {
@@ -832,6 +836,26 @@ mod tests {
         sim.run();
         let rec = rec.borrow();
         assert_eq!(rec.updates, 25, "5 honest servers × 5 steps");
+        let params = rec.final_params();
+        let diam = aggregation::properties::diameter(&params).unwrap();
+        assert!(diam.is_finite());
+    }
+
+    #[test]
+    fn two_colluding_byzantine_servers_terminate() {
+        // Regression (found by chaos search): two Byzantine servers
+        // each forge round `step + 1` on receiving an Exchange — with
+        // two of them, each other's forgeries re-trigger forging in an
+        // unbounded ping-pong unless forging is capped at `max_steps`.
+        let mut cfg = base_cfg(4);
+        cfg.cluster = ClusterConfig::new(9, 2, 9, 2).unwrap();
+        cfg.actual_byz_servers = 2;
+        cfg.server_attack = Some(AttackKind::Equivocate { scale: 20.0 });
+        let (mut sim, rec) =
+            build_simulation(&cfg, builder, tiny_train(), 6, DelayModel::grid5000()).unwrap();
+        sim.run();
+        let rec = rec.borrow();
+        assert_eq!(rec.updates, 28, "7 honest servers × 4 steps");
         let params = rec.final_params();
         let diam = aggregation::properties::diameter(&params).unwrap();
         assert!(diam.is_finite());

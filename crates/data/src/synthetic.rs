@@ -7,7 +7,7 @@ use tensor::{Tensor, TensorRng};
 use crate::{Dataset, Result};
 
 /// Configuration for [`synthetic_cifar`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SyntheticConfig {
     /// Number of training examples.
     pub train: usize,

@@ -3,6 +3,8 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+use crate::soak::SoakCounters;
 use std::time::{Duration, Instant};
 
 use aggregation::{CoordinateWiseMedian, Gar, GarKind};
@@ -61,6 +63,12 @@ pub struct RuntimeConfig {
     pub wall_timeout: Duration,
     /// The interconnect the frames travel over.
     pub transport: TransportKind,
+    /// Worker fast-forward recovery: a worker whose current step can no
+    /// longer fill its model quorum (frames lost to churn or crashes)
+    /// jumps to the newest step that *is* fully quorate instead of
+    /// stalling forever. Off by default — on a lossless run every quorum
+    /// eventually fills and skipping would forfeit rounds.
+    pub recovery: bool,
 }
 
 impl RuntimeConfig {
@@ -77,6 +85,30 @@ impl RuntimeConfig {
             worker_attack: None,
             wall_timeout: Duration::from_secs(60),
             transport: TransportKind::Channel,
+            recovery: false,
+        }
+    }
+}
+
+/// Wraps a node's endpoint before its thread starts (fault-injection
+/// decorators like the soak's churn transport). The `usize` is the node's
+/// wire id: servers first, then workers.
+pub type WrapTransport = Arc<dyn Fn(usize, Box<dyn Transport>) -> Box<dyn Transport> + Send + Sync>;
+
+/// Instrumentation hooks threaded through [`run_cluster_with`].
+#[derive(Clone)]
+pub struct RunHooks {
+    /// Endpoint decorator, applied to every node.
+    pub wrap: Option<WrapTransport>,
+    /// Live counters the node threads bump while running.
+    pub counters: Arc<SoakCounters>,
+}
+
+impl Default for RunHooks {
+    fn default() -> Self {
+        RunHooks {
+            wrap: None,
+            counters: Arc::new(SoakCounters::default()),
         }
     }
 }
@@ -179,6 +211,7 @@ fn server_thread(
     mut net: Box<dyn Transport>,
     done: Arc<AtomicBool>,
     gar: Box<dyn Gar>,
+    counters: Arc<SoakCounters>,
 ) -> (Tensor, ServerLog, u64) {
     use std::collections::HashMap;
     let me = net.me();
@@ -249,6 +282,9 @@ fn server_thread(
                             grad_quorum: senders,
                             exch_quorum: Vec::new(),
                         });
+                        if me == 0 {
+                            counters.rounds.fetch_add(1, Ordering::Relaxed);
+                        }
                         step += 1;
                         if step >= cfg.max_steps {
                             break;
@@ -272,6 +308,9 @@ fn server_thread(
                     grad_quorum: std::mem::take(&mut round_grad_quorum),
                     exch_quorum: senders,
                 });
+                if me == 0 {
+                    counters.rounds.fetch_add(1, Ordering::Relaxed);
+                }
                 step += 1;
                 grads.retain(|&s, _| s >= step);
                 exchanges.retain(|&s, _| s >= step);
@@ -294,6 +333,7 @@ fn worker_thread(
     train: Arc<Dataset>,
     mut net: Box<dyn Transport>,
     done: Arc<AtomicBool>,
+    counters: Arc<SoakCounters>,
 ) -> u64 {
     use std::collections::HashMap;
     let median = CoordinateWiseMedian::new();
@@ -313,6 +353,21 @@ fn worker_thread(
         if let Ok(WireMsg::Model { step: s, params }) = decode(&frame.payload) {
             if s >= step && params.is_finite() {
                 models.entry(s).or_default().push((frame.from, params));
+            }
+        }
+        // Recovery fast-forward: only when the *current* step can no
+        // longer fill (its frames were cut by churn) — a completable step
+        // is never skipped, so on a lossless run this never fires.
+        if cfg.recovery && models.get(&step).is_none_or(|v| v.len() < q) {
+            if let Some(newest) = models
+                .iter()
+                .filter(|&(&s, v)| s > step && v.len() >= q)
+                .map(|(&s, _)| s)
+                .max()
+            {
+                step = newest;
+                models.retain(|&s, _| s >= step);
+                counters.recoveries.fetch_add(1, Ordering::Relaxed);
             }
         }
         while models.get(&step).is_some_and(|v| v.len() >= q) {
@@ -417,6 +472,22 @@ pub fn run_cluster(
     model_builder: impl Fn(&mut TensorRng) -> Sequential,
     train: Dataset,
 ) -> Result<ClusterReport, GuanYuError> {
+    run_cluster_with(cfg, model_builder, train, RunHooks::default())
+}
+
+/// [`run_cluster`] with instrumentation [`RunHooks`]: an endpoint
+/// decorator applied per node and live counters (the soak mode's churn
+/// injection and monitor line are built on these).
+///
+/// # Errors
+///
+/// See [`run_cluster`].
+pub fn run_cluster_with(
+    cfg: &RuntimeConfig,
+    model_builder: impl Fn(&mut TensorRng) -> Sequential,
+    train: Dataset,
+    hooks: RunHooks,
+) -> Result<ClusterReport, GuanYuError> {
     if cfg.cluster.servers > 1 {
         cfg.cluster.validate()?;
     }
@@ -438,11 +509,15 @@ pub fn run_cluster(
     let mut endpoints = build_endpoints(cfg)?.into_iter();
     let done = Arc::new(AtomicBool::new(false));
     let train = Arc::new(train);
+    let decorate = |id: usize, net: Box<dyn Transport>| match &hooks.wrap {
+        Some(wrap) => wrap(id, net),
+        None => net,
+    };
 
     let start = Instant::now();
     let mut server_handles = Vec::new();
-    for _ in 0..cfg.cluster.servers {
-        let net = endpoints.next().expect("one endpoint per node");
+    for s in 0..cfg.cluster.servers {
+        let net = decorate(s, endpoints.next().expect("one endpoint per node"));
         let gar = cfg
             .server_gar
             .build(cfg.cluster.krum_f())
@@ -450,14 +525,16 @@ pub fn run_cluster(
         let cfg = cfg.clone();
         let theta0 = theta0.clone();
         let done = Arc::clone(&done);
+        let counters = Arc::clone(&hooks.counters);
         server_handles.push(std::thread::spawn(move || {
-            server_thread(cfg, theta0, net, done, gar)
+            server_thread(cfg, theta0, net, done, gar, counters)
         }));
     }
     let honest_workers = cfg.cluster.workers - cfg.actual_byz_workers;
     let mut worker_handles = Vec::new();
     for w in 0..cfg.cluster.workers {
-        let net = endpoints.next().expect("one endpoint per node");
+        let id = cfg.cluster.servers + w;
+        let net = decorate(id, endpoints.next().expect("one endpoint per node"));
         let cfg_c = cfg.clone();
         let done = Arc::clone(&done);
         if w < honest_workers {
@@ -465,8 +542,9 @@ pub fn run_cluster(
             let model = model_builder(&mut worker_rng);
             let batcher = Batcher::new(train.len(), cfg.batch_size, cfg.seed ^ (w as u64) << 17);
             let train = Arc::clone(&train);
+            let counters = Arc::clone(&hooks.counters);
             worker_handles.push(std::thread::spawn(move || {
-                worker_thread(cfg_c, model, batcher, train, net, done)
+                worker_thread(cfg_c, model, batcher, train, net, done, counters)
             }));
         } else {
             let attack = cfg
@@ -509,6 +587,10 @@ pub fn run_cluster(
             dropped_sends += dropped;
         }
     }
+    hooks
+        .counters
+        .dropped_sends
+        .fetch_add(dropped_sends, Ordering::Relaxed);
     if timed_out {
         return Err(GuanYuError::InvalidConfig(format!(
             "run exceeded wall timeout of {:?}",

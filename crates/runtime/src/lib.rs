@@ -50,11 +50,16 @@
 #![deny(unsafe_code)]
 
 mod cluster;
+mod soak;
 mod tcp;
 mod transport;
 mod wire;
 
-pub use cluster::{run_cluster, ClusterReport, RuntimeConfig, TransportKind};
+pub use cluster::{
+    run_cluster, run_cluster_with, ClusterReport, RunHooks, RuntimeConfig, TransportKind,
+    WrapTransport,
+};
+pub use soak::{run_soak, run_soak_with, ChurnSpec, SoakConfig, SoakCounters, SoakReport};
 pub use tcp::TcpTransport;
 pub use transport::{ChannelTransport, Incoming, RecvError, Transport};
 pub use wire::{

@@ -1,0 +1,243 @@
+//! The `.scenario.json` file format: committed, replayable reproducers.
+//!
+//! Every shrunk chaos reproducer (and every hand-minimized regression) is
+//! serialised as a [`ScenarioFile`] — the scenario plus its *recorded
+//! expectation* (pass, or a known violation) — so `scenario replay` and
+//! `tests/scenario_replay.rs` can re-verify the artifact forever. The
+//! schema (DESIGN.md §8) is plain externally-tagged serde JSON with an
+//! explicit `version` field so future field additions stay detectable.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::chaos::{verdict, Violation, ViolationKind};
+use crate::scenario::Scenario;
+
+/// Current schema version of [`ScenarioFile`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Canonical file extension (`name.scenario.json`).
+pub const FILE_EXT: &str = ".scenario.json";
+
+/// The recorded outcome a scenario file asserts on replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expectation {
+    /// The scenario passes every check on both engines.
+    Pass,
+    /// The scenario reproduces a known violation.
+    Violation {
+        /// Engine label the violation fires on.
+        engine: String,
+        /// The broken contract.
+        kind: ViolationKind,
+    },
+}
+
+impl Expectation {
+    /// The expectation matching an oracle outcome.
+    pub fn from_verdict(v: Option<&Violation>) -> Self {
+        match v {
+            None => Expectation::Pass,
+            Some(v) => Expectation::Violation {
+                engine: v.engine.clone(),
+                kind: v.kind,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Expectation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expectation::Pass => write!(f, "pass"),
+            Expectation::Violation { engine, kind } => {
+                write!(f, "violation({kind:?} on {engine})")
+            }
+        }
+    }
+}
+
+/// One replayable scenario artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioFile {
+    /// Schema version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// The outcome replay asserts.
+    pub expect: Expectation,
+    /// The scenario itself.
+    pub scenario: Scenario,
+}
+
+impl ScenarioFile {
+    /// Wraps a scenario with the expectation matching `verdict`.
+    pub fn new(scenario: Scenario, verdict: Option<&Violation>) -> Self {
+        ScenarioFile {
+            version: FORMAT_VERSION,
+            expect: Expectation::from_verdict(verdict),
+            scenario,
+        }
+    }
+
+    /// Serialises to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation failures as a message.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Writes the file to `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialisation failures, as a message.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let json = self.to_json()?;
+        fs::write(path, json + "\n").map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Loads and validates a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, malformed JSON, or an unknown schema version.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let raw = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let file: ScenarioFile =
+            serde_json::from_str(&raw).map_err(|e| format!("{}: {e}", path.display()))?;
+        if file.version != FORMAT_VERSION {
+            return Err(format!(
+                "{}: unsupported scenario-file version {} (supported: {FORMAT_VERSION})",
+                path.display(),
+                file.version
+            ));
+        }
+        Ok(file)
+    }
+
+    /// Replays the scenario against an arbitrary oracle and checks the
+    /// outcome against the recorded expectation.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the mismatch when the replayed outcome differs
+    /// from the expectation.
+    pub fn replay_with(
+        &self,
+        oracle: &mut dyn FnMut(&Scenario) -> Option<Violation>,
+    ) -> Result<Expectation, String> {
+        let v = oracle(&self.scenario);
+        let actual = Expectation::from_verdict(v.as_ref());
+        if actual == self.expect {
+            Ok(actual)
+        } else {
+            let detail = v.map(|v| v.detail).unwrap_or_default();
+            Err(format!(
+                "scenario '{}': expected {}, replayed to {} {}",
+                self.scenario.name, self.expect, actual, detail
+            ))
+        }
+    }
+
+    /// Replays against the real chaos oracle ([`verdict`]: both engines,
+    /// determinism + invariants).
+    ///
+    /// # Errors
+    ///
+    /// A message describing the mismatch when the replayed outcome differs
+    /// from the recorded expectation.
+    pub fn replay(&self) -> Result<Expectation, String> {
+        self.replay_with(&mut verdict)
+    }
+}
+
+/// Every `*.scenario.json` under `dir`, sorted by file name (deterministic
+/// replay order).
+///
+/// # Errors
+///
+/// I/O failures reading the directory.
+pub fn scenario_files(dir: &Path) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(FILE_EXT))
+        {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guanyu::faults::FaultKind;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("guanyu-file-test-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrips_through_disk() {
+        let scn = Scenario::baseline("disk-rt", 3).with_fault(
+            2,
+            5,
+            FaultKind::CrashServers { servers: vec![1] },
+        );
+        let file = ScenarioFile::new(scn, None);
+        let path = tmp("roundtrip.scenario.json");
+        file.save(&path).unwrap();
+        let back = ScenarioFile::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, file);
+        assert_eq!(back.expect, Expectation::Pass);
+    }
+
+    #[test]
+    fn rejects_unknown_versions() {
+        let scn = Scenario::baseline("ver", 0);
+        let mut file = ScenarioFile::new(scn, None);
+        file.version = 99;
+        let path = tmp("badver.scenario.json");
+        std::fs::write(&path, file.to_json().unwrap()).unwrap();
+        let err = ScenarioFile::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn replay_with_flags_expectation_mismatches() {
+        let scn = Scenario::baseline("mismatch", 1);
+        let file = ScenarioFile::new(
+            scn,
+            Some(&Violation {
+                engine: "lockstep".into(),
+                kind: ViolationKind::Invariant,
+                detail: String::new(),
+            }),
+        );
+        // An oracle that passes contradicts the recorded violation.
+        let err = file.replay_with(&mut |_| None).unwrap_err();
+        assert!(err.contains("expected violation"), "{err}");
+        // And the matching oracle satisfies it.
+        let ok = file
+            .replay_with(&mut |_| {
+                Some(Violation {
+                    engine: "lockstep".into(),
+                    kind: ViolationKind::Invariant,
+                    detail: "again".into(),
+                })
+            })
+            .unwrap();
+        assert!(matches!(ok, Expectation::Violation { .. }));
+    }
+}

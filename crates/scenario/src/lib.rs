@@ -30,14 +30,28 @@
 //! [`matrix`] ships the standard scenario suite (one per fault class plus
 //! a combined stress), used by `tests/scenario_matrix.rs` and the
 //! `scenario_sweep` experiment binary.
+//!
+//! Beyond the fixed matrix, the crate is a *search engine* over the
+//! schedule space (DESIGN.md §8): [`chaos`] samples random in-bounds
+//! scenarios from a seeded ChaCha8 stream and oracles them through both
+//! engines, [`shrink`] delta-debugs any violation down to a minimal
+//! reproducer, and [`file`] serialises reproducers as `.scenario.json`
+//! artifacts that replay forever. The `scenario` CLI binary drives all of
+//! it (`gen` / `run` / `fuzz` / `replay` / `soak`).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod chaos;
 pub mod check;
+pub mod file;
 mod run;
 #[allow(clippy::module_inception)]
 mod scenario;
+pub mod shrink;
 
+pub use chaos::{fuzz, fuzz_with, seed_from_env, ChaosGen, Violation, ViolationKind};
+pub use file::{Expectation, ScenarioFile};
 pub use run::{calibrate_round_secs, run_event, run_event_with, run_lockstep, Engine, ScenarioRun};
 pub use scenario::{matrix, Scenario};
+pub use shrink::{shrink, ShrinkOutcome};

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// [`crate::run_event`] compile it to the respective engine. Indices in
 /// the fault schedule follow the `guanyu::faults` convention (honest
 /// server / honest worker indices).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Scenario name (manifest key).
     pub name: String,
@@ -149,6 +149,58 @@ impl Scenario {
         self.honest_servers()
             .saturating_sub(self.at_risk_servers().len())
             .max(1)
+    }
+
+    /// Largest number of honest workers simultaneously down (crash or
+    /// churn) at any step of the run.
+    pub fn max_workers_down(&self) -> usize {
+        (0..self.steps)
+            .map(|t| {
+                (0..self.honest_workers())
+                    .filter(|&w| self.faults.worker_down(t, w))
+                    .count()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every fault window names only indices that exist under the
+    /// honest-index convention. Out-of-range indices are no-ops on the
+    /// lockstep engine but would alias other nodes in the event engine's
+    /// `NodeId` space, so the chaos generator must never emit them.
+    pub fn indices_valid(&self) -> bool {
+        let servers = self.honest_servers();
+        let workers = self.honest_workers();
+        self.faults.windows.iter().all(|w| match &w.kind {
+            FaultKind::CrashServers { servers: ss } => ss.iter().all(|&s| s < servers),
+            FaultKind::PartitionServers { groups } => groups.iter().flatten().all(|&s| s < servers),
+            FaultKind::CrashWorkers { workers: ws }
+            | FaultKind::StragglerWorkers { workers: ws, .. } => ws.iter().all(|&w| w < workers),
+            FaultKind::WorkerChurn { pool, .. } => *pool <= workers,
+            _ => true,
+        })
+    }
+
+    /// Whether the scenario stays inside the paper's feasible region: the
+    /// declared cluster validates, the actual adversary fits the declared
+    /// bounds, and — on each plane — the environmental faults *plus* the
+    /// actual adversary together fit the declared budget (`at_risk + byz ≤
+    /// f` servers, `down + byz ≤ f̄` workers at every step). The two draws
+    /// share one budget because quorum fillability only counts on nodes
+    /// that are both up *and* honest: `q ≤ n − f` guarantees progress
+    /// when at most `f` nodes are crashed-or-Byzantine combined — a mute
+    /// Byzantine server eats exactly as much quorum margin as a crashed
+    /// one (the boundary the first chaos run found, see the committed
+    /// `crash_plus_mute_server` reproducer). Only scenarios passing this
+    /// check carry the checker's invariant guarantees — the chaos
+    /// generator resamples until it holds.
+    pub fn within_bounds(&self) -> bool {
+        self.cluster.validate().is_ok()
+            && self.actual_byz_workers <= self.cluster.byz_workers
+            && self.actual_byz_servers <= self.cluster.byz_servers
+            && self.indices_valid()
+            && self.at_risk_servers().len() + self.actual_byz_servers <= self.cluster.byz_servers
+            && self.max_workers_down() + self.actual_byz_workers <= self.cluster.byz_workers
     }
 
     /// Labels of the distinct fault classes this scenario exercises.
@@ -303,7 +355,41 @@ mod tests {
                 s.name
             );
             assert!(s.min_finishers() >= s.honest_servers() - s.cluster.byz_servers);
+            assert!(s.within_bounds(), "{}: outside the feasible region", s.name);
         }
+    }
+
+    #[test]
+    fn within_bounds_rejects_infeasible_schedules() {
+        // Crashing every server exceeds the declared f = 1.
+        let all_down = Scenario::baseline("all-down", 0).with_fault(
+            2,
+            5,
+            FaultKind::CrashServers {
+                servers: (0..6).collect(),
+            },
+        );
+        assert!(!all_down.within_bounds());
+        // Out-of-range worker index: invalid, would alias in NodeId space.
+        let bad_index = Scenario::baseline("bad-index", 0).with_fault(
+            1,
+            3,
+            FaultKind::CrashWorkers { workers: vec![40] },
+        );
+        assert!(!bad_index.indices_valid());
+        assert!(!bad_index.within_bounds());
+        // Crash + churn overlapping: 3 simultaneous downs exceed f̄ = 2.
+        let stacked = Scenario::baseline("stacked", 0)
+            .with_fault(
+                2,
+                6,
+                FaultKind::CrashWorkers {
+                    workers: vec![5, 6],
+                },
+            )
+            .with_fault(2, 6, FaultKind::WorkerChurn { period: 1, pool: 3 });
+        assert_eq!(stacked.max_workers_down(), 3);
+        assert!(!stacked.within_bounds());
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Fuzz-style round-trip properties for the `.scenario.json` schema: any
+//! scenario the chaos sampler can produce — arbitrary compositions of all
+//! eight fault kinds, every cluster shape in the feasible region — must
+//! survive `parse(print(s)) == s` exactly, or a committed reproducer
+//! would silently decay. Same contract style as the wire codec's
+//! `wire_fuzz.rs`.
+
+use proptest::prelude::*;
+use scenario::{ChaosGen, Expectation, Scenario, ScenarioFile, Violation, ViolationKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every sampleable scenario round-trips through JSON exactly.
+    #[test]
+    fn sampled_scenarios_roundtrip(seed in any::<u64>(), skip in 0usize..6) {
+        let mut gen = ChaosGen::new(seed);
+        let mut scn = gen.sample();
+        for _ in 0..skip {
+            scn = gen.sample();
+        }
+        let json = serde_json::to_string(&scn).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, scn);
+    }
+
+    /// The full file wrapper — version, expectation, scenario — round-trips
+    /// for both expectation variants.
+    #[test]
+    fn scenario_files_roundtrip(seed in any::<u64>(), violating in any::<bool>()) {
+        let scn = ChaosGen::new(seed).sample();
+        let violation = violating.then(|| Violation {
+            engine: "event-driven".into(),
+            kind: ViolationKind::Invariant,
+            detail: "synthetic".into(),
+        });
+        let file = ScenarioFile::new(scn, violation.as_ref());
+        let json = file.to_json().unwrap();
+        let back: ScenarioFile = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &file);
+        match (violating, &back.expect) {
+            (true, Expectation::Violation { kind, .. }) => {
+                prop_assert!(matches!(kind, ViolationKind::Invariant));
+            }
+            (false, Expectation::Pass) => {}
+            other => prop_assert!(false, "wrong expectation after round-trip: {:?}", other),
+        }
+    }
+}
+
+/// The fixed matrix — one scenario per fault class, the shapes the tier-1
+/// suite runs — round-trips too (the sampler does not cover hand-built
+/// names and comments).
+#[test]
+fn matrix_scenarios_roundtrip() {
+    for scn in scenario::matrix(40) {
+        let json = serde_json::to_string(&scn).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scn, "{} mutated in round-trip", back.name);
+    }
+}

@@ -1,0 +1,54 @@
+//! Hunts for protocol violations with the chaos search (DESIGN.md §8):
+//! samples random in-bounds scenarios from a seeded stream, oracles each
+//! through both deterministic engines, and delta-debugs any violation to
+//! a minimal reproducer.
+//!
+//! Run with `cargo run --release --example chaos_hunt` — set
+//! `GUANYU_CHAOS_SEED` to explore a different stream. A clean hunt is the
+//! expected outcome; a finding prints its shrunk reproducer JSON, ready
+//! to commit under `tests/scenarios/`.
+
+use scenario::{fuzz_with, seed_from_env, ScenarioFile};
+
+fn main() {
+    let seed = seed_from_env(40);
+    let samples = 12;
+    println!("chaos hunt: seed {seed}, {samples} samples (each runs both engines twice)");
+
+    let report = fuzz_with(seed, samples, |i, outcome| {
+        match &outcome.violation {
+            None => println!("  [{:>2}] {:<12} ok", i + 1, outcome.scenario.name),
+            Some(v) => println!(
+                "  [{:>2}] {:<12} VIOLATION: {:?} on {} — shrunk in {} oracle calls",
+                i + 1,
+                outcome.scenario.name,
+                v.kind,
+                v.engine,
+                outcome.shrink_tried
+            ),
+        };
+    });
+
+    for outcome in &report.outcomes {
+        let (Some(v), Some(min)) = (&outcome.violation, &outcome.minimized) else {
+            continue;
+        };
+        let file = ScenarioFile::new(min.clone(), Some(v));
+        println!(
+            "\nminimal reproducer ({} fault windows, {} steps):\n{}",
+            min.faults.windows.len(),
+            min.steps,
+            file.to_json().unwrap_or_default()
+        );
+    }
+    println!(
+        "\n{} violations in {} samples — {}",
+        report.violations,
+        report.samples,
+        if report.violations == 0 {
+            "the feasible region held"
+        } else {
+            "commit the reproducer and fix the boundary"
+        }
+    );
+}

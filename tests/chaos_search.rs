@@ -1,0 +1,127 @@
+//! End-to-end contracts of the chaos subsystem (DESIGN.md §8): the fuzz
+//! pipeline is deterministic in its seed, a violation shrinks to a
+//! strictly smaller reproducer that round-trips through its
+//! `.scenario.json` file and replays to the same violation, and the
+//! engines survive the harshest schedule the sampler can express —
+//! every server simultaneously crashed.
+
+use guanyu::faults::FaultKind;
+use scenario::{shrink, Scenario, ScenarioFile, Violation, ViolationKind};
+
+/// Same seed, same samples ⇒ byte-identical fuzz reports (scenarios,
+/// verdicts, shrink traces). This is what makes `scenario fuzz --seed S`
+/// replayable in CI.
+#[test]
+fn fuzz_is_deterministic_in_its_seed() {
+    let a = scenario::fuzz(9, 4);
+    let b = scenario::fuzz(9, 4);
+    let ja = serde_json::to_string(&a).unwrap();
+    let jb = serde_json::to_string(&b).unwrap();
+    assert_eq!(ja, jb, "fuzz(9, 4) must be a pure function of the seed");
+    assert_ne!(
+        serde_json::to_string(&scenario::fuzz(10, 4)).unwrap(),
+        ja,
+        "a different seed must explore different scenarios"
+    );
+}
+
+/// The acceptance flow for a chaos finding: an injected synthetic
+/// violation is shrunk to a reproducer with strictly fewer fault entries
+/// that still violates, saved as a `.scenario.json`, and replays from
+/// disk to the same violation.
+#[test]
+fn synthetic_violation_shrinks_saves_and_replays() {
+    // Oracle: "crashing server 1 breaks the run" — synthetic, so the
+    // shrinker's search is exercised without a real engine failure.
+    let mut oracle = |scn: &Scenario| {
+        scn.faults
+            .windows
+            .iter()
+            .any(|w| matches!(&w.kind, FaultKind::CrashServers { servers } if servers.contains(&1)))
+            .then(|| Violation {
+                engine: "lockstep".into(),
+                kind: ViolationKind::Invariant,
+                detail: "synthetic: server 1 crashed".into(),
+            })
+    };
+    let noisy = Scenario::baseline("noisy", 3)
+        .with_fault(
+            0,
+            4,
+            FaultKind::DelaySpike {
+                factor: 2.0,
+                extra_secs: 0.0,
+            },
+        )
+        .with_fault(
+            2,
+            9,
+            FaultKind::CrashServers {
+                servers: vec![0, 1, 2],
+            },
+        )
+        .with_fault(
+            5,
+            7,
+            FaultKind::StragglerWorkers {
+                workers: vec![3],
+                extra_secs: 0.01,
+            },
+        )
+        .with_fault(8, 11, FaultKind::WorkerChurn { period: 1, pool: 2 });
+    let violation = oracle(&noisy).expect("the noisy scenario must violate");
+
+    let out = shrink(&noisy, &violation, &mut oracle);
+    assert!(
+        out.scenario.faults.windows.len() < noisy.faults.windows.len(),
+        "shrinking must remove fault entries: {} vs {}",
+        out.scenario.faults.windows.len(),
+        noisy.faults.windows.len()
+    );
+    assert_eq!(out.scenario.faults.windows.len(), 1, "1-minimal schedule");
+    let replayed = oracle(&out.scenario).expect("the minimized scenario must still violate");
+    assert!(replayed.matches(&violation));
+
+    // Round-trip through the file format and replay from disk.
+    let path = std::env::temp_dir().join(format!(
+        "guanyu-chaos-accept-{}.scenario.json",
+        std::process::id()
+    ));
+    ScenarioFile::new(out.scenario.clone(), Some(&out.violation))
+        .save(&path)
+        .unwrap();
+    let back = ScenarioFile::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back.scenario, out.scenario);
+    let outcome = back
+        .replay_with(&mut oracle)
+        .expect("expectation must hold");
+    assert!(matches!(outcome, scenario::Expectation::Violation { .. }));
+}
+
+/// Regression: a round in which *every* server is simultaneously crashed
+/// must neither panic nor livelock on either deterministic engine — the
+/// recovery fast-forward has nothing to jump to until the crash lifts,
+/// and both engines must ride that out.
+#[test]
+fn all_servers_crashed_round_terminates_on_both_engines() {
+    let scn = Scenario::baseline("all_servers_down", 17).with_fault(
+        2,
+        4,
+        FaultKind::CrashServers {
+            servers: vec![0, 1, 2, 3, 4, 5],
+        },
+    );
+    // Wildly out of budget by design — run the engines directly instead
+    // of the oracle: the contract here is termination, not invariants.
+    assert!(!scn.within_bounds());
+    let lockstep = scenario::run_lockstep(&scn).expect("lockstep must terminate");
+    assert!(
+        !lockstep.trace.is_empty(),
+        "rounds before the crash recorded"
+    );
+    let event = scenario::run_event(&scn).expect("event engine must terminate");
+    // The event engine may or may not complete rounds after the blackout;
+    // termination plus a finite report is the regression contract.
+    assert!(event.finishers.len() <= 6);
+}

@@ -1,0 +1,47 @@
+//! Replays every committed `.scenario.json` reproducer under
+//! `tests/scenarios/` and asserts its recorded expectation still holds —
+//! pass cases still pass, known violations still violate with the same
+//! kind on the same engine. A shrunk chaos finding committed here keeps
+//! reproducing forever (or this test says exactly which file decayed).
+
+use std::path::Path;
+
+use scenario::file::scenario_files;
+use scenario::ScenarioFile;
+
+#[test]
+fn every_committed_reproducer_replays_to_its_expectation() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/scenarios");
+    let files = scenario_files(&dir).expect("tests/scenarios must be listable");
+    assert!(
+        files.len() >= 3,
+        "expected at least 3 committed reproducers, found {}",
+        files.len()
+    );
+    for path in files {
+        let file = ScenarioFile::load(&path).unwrap_or_else(|e| panic!("{e}"));
+        let outcome = file
+            .replay()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        println!("{}: {outcome}", path.display());
+    }
+}
+
+#[test]
+fn the_known_violation_is_recorded_as_one() {
+    // The crash_plus_mute_server reproducer documents the quorum budget
+    // rule (environmental crashes and the actual adversary share the
+    // declared f): it must stay recorded as a violation, not a pass.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/scenarios/crash_plus_mute_server.scenario.json");
+    let file = ScenarioFile::load(&path).unwrap();
+    assert!(
+        matches!(file.expect, scenario::Expectation::Violation { .. }),
+        "crash_plus_mute_server must record a violation, found {}",
+        file.expect
+    );
+    assert!(
+        !file.scenario.within_bounds(),
+        "the budget rule must reject this schedule"
+    );
+}
