@@ -1,14 +1,24 @@
-//! Transport throughput sweep: channel vs TCP loopback at increasing
-//! scale (DESIGN.md §7).
+//! Transport throughput sweep: channel vs TCP loopback (DESIGN.md §7).
 //!
-//! Runs the same seeded full-quorum workload on both transports of the
-//! threaded runtime, verifies their `guanyu::trace` fingerprints agree
-//! bit-for-bit at each point, and reports updates/s plus the estimated
-//! protocol bytes moved — quantifying what crossing the kernel's TCP
-//! stack costs relative to in-process channels with `Arc`-shared frames.
+//! Two sweeps, both running the same seeded full-quorum workload on both
+//! transports of the threaded runtime and verifying their `guanyu::trace`
+//! fingerprints agree bit-for-bit at every point:
+//!
+//! * **cluster presets** — fixed small CNN, increasing node counts
+//!   (small 3+6, mid 6+12, and `--paper` 6+18): what scaling the *mesh*
+//!   costs;
+//! * **saturation** — fixed 3+6 cluster, increasing model dimension via an
+//!   MLP's hidden width (d from ~6.5k to ~650k, `--paper` adds the
+//!   paper-scale d ≈ 1.75M): updates/sec vs payload size, where the wire
+//!   path itself saturates.
+//!
+//! Reports updates/s plus the estimated protocol bytes moved — quantifying
+//! what crossing the kernel's TCP stack costs relative to in-process
+//! channels with `Arc`-shared frames.
 //!
 //! Flags: `--tiny` (CI smoke), `--steps N`, `--trials N`,
-//! `--paper` (paper-shaped 6+18 cluster and a wider model).
+//! `--paper` (paper-shaped cluster and paper-scale d),
+//! `--only SUBSTR` (run only points whose label contains SUBSTR).
 
 use std::time::Duration;
 
@@ -16,13 +26,15 @@ use data::{synthetic_cifar, SyntheticConfig};
 use guanyu::config::ClusterConfig;
 use guanyu_bench::{arg, flag, save_json};
 use guanyu_runtime::{run_cluster, ClusterReport, RuntimeConfig, TransportKind};
-use nn::models;
+use nn::{models, Dense, Flatten, Relu, Sequential};
 use serde::Serialize;
 use tensor::TensorRng;
 
 /// One measured configuration on one transport.
 #[derive(Debug, Clone, Serialize)]
 struct SweepPoint {
+    /// Which sweep the point belongs to: `preset` or `saturation`.
+    kind: String,
     /// Sweep-point label.
     scale: String,
     /// Transport label.
@@ -47,6 +59,8 @@ struct SweepPoint {
     fingerprint: u64,
     /// Sends dropped (must be 0 on these clean full-quorum runs).
     dropped_sends: u64,
+    /// Links severed (must be 0 on these clean full-quorum runs).
+    link_failures: u64,
 }
 
 /// Protocol payload bytes of one full-quorum run: per round, every server
@@ -60,14 +74,14 @@ fn payload_bytes(servers: usize, workers: usize, dim: usize, steps: u64) -> f64 
 }
 
 fn measure(
+    kind: &str,
     scale: &str,
     cluster: ClusterConfig,
-    filters: usize,
+    builder: &dyn Fn(&mut TensorRng) -> Sequential,
     steps: u64,
     trials: usize,
     transport: TransportKind,
 ) -> SweepPoint {
-    let builder = move |rng: &mut TensorRng| models::small_cnn(8, filters, 10, rng);
     let dim = builder(&mut TensorRng::new(0)).param_count();
     let mut wall = 0.0;
     let mut last: Option<ClusterReport> = None;
@@ -92,6 +106,7 @@ fn measure(
         .0;
         let report = run_cluster(&cfg, builder, train).expect("sweep run");
         assert_eq!(report.dropped_sends, 0, "clean run dropped sends");
+        assert_eq!(report.link_failures, 0, "clean run severed links");
         if let Some(prev) = &last {
             assert_eq!(
                 prev.trace.fingerprint(),
@@ -106,6 +121,7 @@ fn measure(
     let wall_secs = wall / trials as f64;
     let payload = payload_bytes(cluster.servers, cluster.workers, dim, steps);
     SweepPoint {
+        kind: kind.to_string(),
         scale: scale.to_string(),
         transport: transport.to_string(),
         servers: cluster.servers,
@@ -118,7 +134,56 @@ fn measure(
         mib_per_sec: payload / (1024.0 * 1024.0) / wall_secs,
         fingerprint: report.trace.fingerprint(),
         dropped_sends: report.dropped_sends,
+        link_failures: report.link_failures,
     }
+}
+
+/// A flat MLP over the 3×8×8 synthetic images whose parameter count is
+/// ~203·h: the knob the saturation sweep turns to scale frame size without
+/// touching cluster shape or compute structure.
+fn wide_mlp(hidden: usize, rng: &mut TensorRng) -> Sequential {
+    Sequential::new()
+        .with(Flatten::new())
+        .with(Dense::new(3 * 8 * 8, hidden, rng))
+        .with(Relu::new())
+        .with(Dense::new(hidden, 10, rng))
+}
+
+/// Runs both transports at one point, asserts fingerprint parity, prints
+/// the pair and the throughput ratio, and appends both points.
+#[allow(clippy::too_many_arguments)]
+fn measure_pair(
+    kind: &str,
+    scale: &str,
+    cluster: ClusterConfig,
+    builder: &dyn Fn(&mut TensorRng) -> Sequential,
+    steps: u64,
+    trials: usize,
+    results: &mut Vec<SweepPoint>,
+) {
+    let mut pair = Vec::new();
+    for transport in [TransportKind::Channel, TransportKind::TcpLoopback] {
+        let p = measure(kind, scale, cluster, builder, steps, trials, transport);
+        println!(
+            "{:<14} {:>9} {:>8} {:>10.3} {:>12.1} {:>12.2} {:>11.1} {:>#19x}",
+            p.scale,
+            p.transport,
+            p.dim,
+            p.wall_secs,
+            p.updates_per_sec,
+            p.payload_mib,
+            p.mib_per_sec,
+            p.fingerprint
+        );
+        pair.push(p);
+    }
+    assert_eq!(
+        pair[0].fingerprint, pair[1].fingerprint,
+        "{scale}: channel and TCP traces diverged — determinism bug"
+    );
+    let ratio = pair[1].updates_per_sec / pair[0].updates_per_sec;
+    println!("{:<14} tcp/channel throughput ratio: {ratio:.2}×\n", "");
+    results.append(&mut pair);
 }
 
 fn main() {
@@ -126,64 +191,83 @@ fn main() {
     let paper = flag("paper");
     let steps: u64 = arg("steps", if tiny { 3 } else { 10 });
     let trials: usize = arg("trials", if tiny { 1 } else { 2 });
+    let only: String = arg("only", String::new());
 
-    // Full quorums at every point: that is the regime where the two
-    // transports are provably bit-identical, so the comparison is
-    // apples-to-apples by construction.
-    let mut points: Vec<(&str, ClusterConfig, usize)> = vec![(
+    println!("transport sweep: {steps} steps, {trials} trial(s)\n");
+    println!(
+        "{:<14} {:>9} {:>8} {:>10} {:>12} {:>12} {:>11} {:>19}",
+        "scale", "transport", "dim", "wall (s)", "updates/s", "payload MiB", "MiB/s", "fingerprint"
+    );
+
+    let mut results: Vec<SweepPoint> = Vec::new();
+
+    // Cluster presets: fixed small CNN, growing node counts. Full quorums
+    // at every point — the regime where the two transports are provably
+    // bit-identical, so the comparison is apples-to-apples by construction.
+    let mut presets: Vec<(&str, ClusterConfig, usize)> = vec![(
         "small 3+6",
         ClusterConfig::with_quorums(3, 0, 6, 0, 3, 6).expect("valid"),
         2,
     )];
     if !tiny {
-        points.push((
+        presets.push((
             "mid 6+12",
             ClusterConfig::with_quorums(6, 0, 12, 0, 6, 12).expect("valid"),
             4,
         ));
     }
     if paper {
-        points.push((
+        presets.push((
             "paper 6+18",
             ClusterConfig::with_quorums(6, 0, 18, 0, 6, 18).expect("valid"),
             8,
         ));
     }
-
-    println!(
-        "transport sweep: {} point(s), {steps} steps, {trials} trial(s)\n",
-        points.len()
-    );
-    println!(
-        "{:<12} {:>9} {:>8} {:>10} {:>12} {:>12} {:>11} {:>19}",
-        "scale", "transport", "dim", "wall (s)", "updates/s", "payload MiB", "MiB/s", "fingerprint"
-    );
-
-    let mut results: Vec<SweepPoint> = Vec::new();
-    for (scale, cluster, filters) in points {
-        let mut pair = Vec::new();
-        for transport in [TransportKind::Channel, TransportKind::TcpLoopback] {
-            let p = measure(scale, cluster, filters, steps, trials, transport);
-            println!(
-                "{:<12} {:>9} {:>8} {:>10.3} {:>12.1} {:>12.2} {:>11.1} {:>#19x}",
-                p.scale,
-                p.transport,
-                p.dim,
-                p.wall_secs,
-                p.updates_per_sec,
-                p.payload_mib,
-                p.mib_per_sec,
-                p.fingerprint
-            );
-            pair.push(p);
+    for (scale, cluster, filters) in presets {
+        if !scale.contains(&only) {
+            continue;
         }
-        assert_eq!(
-            pair[0].fingerprint, pair[1].fingerprint,
-            "{scale}: channel and TCP traces diverged — determinism bug"
+        let builder = move |rng: &mut TensorRng| models::small_cnn(8, filters, 10, rng);
+        measure_pair(
+            "preset",
+            scale,
+            cluster,
+            &builder,
+            steps,
+            trials,
+            &mut results,
         );
-        let slowdown = pair[0].updates_per_sec / pair[1].updates_per_sec;
-        println!("{:<12} tcp/channel slowdown: {slowdown:.2}×\n", "");
-        results.extend(pair);
+    }
+
+    // Saturation: fixed 3+6 cluster, growing frame size (d ≈ 203·h).
+    let sat_cluster = ClusterConfig::with_quorums(3, 0, 6, 0, 3, 6).expect("valid");
+    let mut widths: Vec<(&str, usize, u64)> = if tiny {
+        vec![("sat d≈3k", 16, 2), ("sat d≈26k", 128, 2)]
+    } else {
+        vec![
+            ("sat d≈6.5k", 32, steps),
+            ("sat d≈65k", 320, steps),
+            ("sat d≈650k", 3200, 6),
+        ]
+    };
+    if paper {
+        // d ≈ 1.754M — the paper's model dimension.
+        widths.push(("sat d≈1.75M", 8640, 4));
+    }
+    for (scale, hidden, sat_steps) in widths {
+        if !scale.contains(&only) {
+            continue;
+        }
+        let builder = move |rng: &mut TensorRng| wide_mlp(hidden, rng);
+        measure_pair(
+            "saturation",
+            scale,
+            sat_cluster,
+            &builder,
+            sat_steps,
+            trials,
+            &mut results,
+        );
     }
 
     save_json("transport_bench", &results);

@@ -27,7 +27,8 @@ pub enum TransportKind {
     #[default]
     Channel,
     /// Real TCP sockets over `127.0.0.1`: length-prefixed stream framing,
-    /// id-carrying handshakes, per-peer writer threads.
+    /// id-carrying handshakes, batched per-peer writer threads, one
+    /// poll-style reader thread per node.
     TcpLoopback,
 }
 
@@ -130,6 +131,11 @@ pub struct ClusterReport {
     /// node endpoints. A clean full-quorum run drops nothing — the
     /// regression `tests` assert exactly zero.
     pub dropped_sends: u64,
+    /// Links severed abnormally (poisoned streams, socket errors, wedged
+    /// peers), summed over all node endpoints
+    /// ([`Transport::link_failures`]). Always 0 on the channel plane and
+    /// on clean TCP runs.
+    pub link_failures: u64,
 }
 
 /// One server's per-round record, kept locally (no cross-thread
@@ -182,6 +188,22 @@ fn assemble_trace(logs: &[ServerLog]) -> Trace {
 
 const POLL: Duration = Duration::from_millis(20);
 
+/// Endpoint counters a node thread hands back after shutdown.
+#[derive(Debug, Clone, Copy, Default)]
+struct NetStats {
+    dropped: u64,
+    link_failures: u64,
+}
+
+impl NetStats {
+    fn collect(net: &dyn Transport) -> NetStats {
+        NetStats {
+            dropped: net.dropped_sends(),
+            link_failures: net.link_failures(),
+        }
+    }
+}
+
 /// Announces a server's model to the workers. The tensor clone is a
 /// refcount bump and the frame is encoded once for all targets.
 fn broadcast_model(net: &mut dyn Transport, worker_ids: &[usize], step: u64, params: &Tensor) {
@@ -212,7 +234,7 @@ fn server_thread(
     done: Arc<AtomicBool>,
     gar: Box<dyn Gar>,
     counters: Arc<SoakCounters>,
-) -> (Tensor, ServerLog, u64) {
+) -> (Tensor, ServerLog, NetStats) {
     use std::collections::HashMap;
     let me = net.me();
     let median = CoordinateWiseMedian::new();
@@ -322,8 +344,8 @@ fn server_thread(
         }
     }
     net.shutdown();
-    let dropped = net.dropped_sends();
-    (params, log, dropped)
+    let stats = NetStats::collect(net.as_ref());
+    (params, log, stats)
 }
 
 fn worker_thread(
@@ -334,7 +356,7 @@ fn worker_thread(
     mut net: Box<dyn Transport>,
     done: Arc<AtomicBool>,
     counters: Arc<SoakCounters>,
-) -> u64 {
+) -> NetStats {
     use std::collections::HashMap;
     let median = CoordinateWiseMedian::new();
     let mut step = 0u64;
@@ -396,7 +418,7 @@ fn worker_thread(
         }
     }
     net.shutdown();
-    net.dropped_sends()
+    NetStats::collect(net.as_ref())
 }
 
 fn byzantine_worker_thread(
@@ -404,7 +426,7 @@ fn byzantine_worker_thread(
     mut attack: Box<dyn Attack>,
     mut net: Box<dyn Transport>,
     done: Arc<AtomicBool>,
-) -> u64 {
+) -> NetStats {
     use std::collections::HashMap;
     let mut observed: HashMap<u64, Vec<Tensor>> = HashMap::new();
     let mut forged: HashMap<u64, bool> = HashMap::new();
@@ -434,7 +456,7 @@ fn byzantine_worker_thread(
         }
     }
     net.shutdown();
-    net.dropped_sends()
+    NetStats::collect(net.as_ref())
 }
 
 /// Builds one endpoint per node on the configured interconnect. The TCP
@@ -562,14 +584,16 @@ pub fn run_cluster_with(
     let mut final_params = Vec::with_capacity(server_handles.len());
     let mut server_logs = Vec::with_capacity(server_handles.len());
     let mut dropped_sends = 0u64;
+    let mut link_failures = 0u64;
     let mut timed_out = false;
     for h in server_handles {
         loop {
             if h.is_finished() {
-                let (params, log, dropped) = h.join().expect("server thread panicked");
+                let (params, log, stats) = h.join().expect("server thread panicked");
                 final_params.push(params);
                 server_logs.push(log);
-                dropped_sends += dropped;
+                dropped_sends += stats.dropped;
+                link_failures += stats.link_failures;
                 break;
             }
             if timed_out || start.elapsed() > cfg.wall_timeout {
@@ -583,8 +607,9 @@ pub fn run_cluster_with(
     }
     done.store(true, Ordering::Relaxed);
     for h in worker_handles {
-        if let Ok(dropped) = h.join() {
-            dropped_sends += dropped;
+        if let Ok(stats) = h.join() {
+            dropped_sends += stats.dropped;
+            link_failures += stats.link_failures;
         }
     }
     hooks
@@ -605,6 +630,7 @@ pub fn run_cluster_with(
         wall_secs: start.elapsed().as_secs_f64(),
         trace: assemble_trace(&server_logs),
         dropped_sends,
+        link_failures,
     })
 }
 
@@ -716,6 +742,10 @@ mod tests {
         assert_eq!(
             report.dropped_sends, 0,
             "clean full-quorum run must not drop sends"
+        );
+        assert_eq!(
+            report.link_failures, 0,
+            "clean full-quorum run must not sever links"
         );
     }
 }

@@ -9,8 +9,10 @@
 //!   `Arc`-shared broadcast buffers (the zero-copy gradient plane);
 //! * [`TransportKind::TcpLoopback`] — real `std::net` TCP sockets over
 //!   `127.0.0.1`: length-prefixed stream framing ([`StreamDecoder`]),
-//!   id-carrying handshakes, per-peer writer threads, and a graceful
-//!   shutdown that joins every I/O thread.
+//!   id-carrying handshakes, batched per-peer writer threads flushing many
+//!   frames per vectored syscall, a single poll-style reader thread per
+//!   node, pooled encode buffers ([`BufPool`]), and a graceful shutdown
+//!   that joins every I/O thread.
 //!
 //! Either way, every model and gradient really is serialised to bytes and
 //! parsed back on the receiving side, so the serialization path the
@@ -50,6 +52,7 @@
 #![deny(unsafe_code)]
 
 mod cluster;
+mod pool;
 mod soak;
 mod tcp;
 mod transport;
@@ -59,9 +62,11 @@ pub use cluster::{
     run_cluster, run_cluster_with, ClusterReport, RunHooks, RuntimeConfig, TransportKind,
     WrapTransport,
 };
+pub use pool::BufPool;
 pub use soak::{run_soak, run_soak_with, ChurnSpec, SoakConfig, SoakCounters, SoakReport};
 pub use tcp::TcpTransport;
 pub use transport::{ChannelTransport, Incoming, RecvError, Transport};
 pub use wire::{
-    decode, encode, prefix_frame, StreamDecoder, WireError, WireMsg, MAX_ELEMS, MAX_FRAME_BYTES,
+    decode, encode, encode_shared, prefix_frame, write_frames, StreamDecoder, WireError, WireMsg,
+    MAX_ELEMS, MAX_FRAME_BYTES,
 };

@@ -177,6 +177,10 @@ impl Transport for ChurnTransport {
         self.inner.dropped_sends()
     }
 
+    fn link_failures(&self) -> u64 {
+        self.inner.link_failures()
+    }
+
     fn shutdown(&mut self) {
         self.inner.shutdown();
     }

@@ -9,25 +9,30 @@
 //!
 //! * [`ChannelTransport`] — in-process `mpsc` channels, the original
 //!   engine: zero-copy fan-out (a broadcast encodes once and every
-//!   receiver holds the same `Arc`ed buffer);
+//!   receiver holds the same `Arc`ed buffer), encode scratch recycled
+//!   through a mesh-shared [`BufPool`];
 //! * [`TcpTransport`](crate::tcp::TcpTransport) — real loopback sockets
-//!   with length-prefixed stream framing, per-peer writer threads and an
-//!   id-carrying handshake.
+//!   with length-prefixed stream framing, batched per-peer writer threads,
+//!   a single poll-style reader thread per node and an id-carrying
+//!   handshake.
 //!
 //! Both carry the *same bytes* ([`wire`](crate::wire) codec), and at full
 //! quorums both produce bit-identical runs — the cross-transport
 //! consistency contract `tests/engines_consistency.rs` pins.
 //!
 //! Failed sends are never silent: a send to a disconnected peer (one that
-//! already shut down) is *counted* via [`Transport::dropped_sends`], and
-//! the cluster surfaces the total in its report so tests can assert that
-//! clean full-quorum runs drop nothing.
+//! already shut down) is *counted* via [`Transport::dropped_sends`], and a
+//! link torn down abnormally (poisoned stream, socket error, wedged peer)
+//! is counted via [`Transport::link_failures`] — the cluster surfaces both
+//! totals in its report so tests can assert that clean full-quorum runs
+//! drop and sever nothing.
 
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::wire::{encode, WireMsg};
+use crate::pool::BufPool;
+use crate::wire::{encode_shared, WireMsg};
 
 /// One received frame: the transport-level sender identity plus the raw
 /// frame bytes (decoded by the node thread, where malformed input is
@@ -38,8 +43,9 @@ pub struct Incoming {
     /// TCP handshake carried). Receivers use it to fold quorums in
     /// canonical sender order.
     pub from: usize,
-    /// Raw frame bytes; `Arc` so a broadcast shares one buffer.
-    pub payload: Arc<Vec<u8>>,
+    /// Raw frame bytes; `Arc<[u8]>` so a broadcast shares one allocation
+    /// (no `Vec` indirection between the refcount and the bytes).
+    pub payload: Arc<[u8]>,
 }
 
 /// Why a receive returned nothing.
@@ -78,6 +84,14 @@ pub trait Transport: Send {
     /// Sends that could not be delivered so far.
     fn dropped_sends(&self) -> u64;
 
+    /// Links this endpoint severed *abnormally* so far: poisoned streams,
+    /// socket errors, peers dead mid-frame or wedged past the write-stall
+    /// deadline. A peer departing cleanly (EOF between frames) is not a
+    /// failure. Transports with no link concept report 0.
+    fn link_failures(&self) -> u64 {
+        0
+    }
+
     /// Tears the endpoint down: closes connections and joins every I/O
     /// thread the endpoint spawned. Idempotent; called by the node thread
     /// on exit so no run ever leaks a thread.
@@ -87,18 +101,20 @@ pub trait Transport: Send {
 /// Frame moving through the channel mesh.
 struct Frame {
     from: usize,
-    payload: Arc<Vec<u8>>,
+    payload: Arc<[u8]>,
 }
 
 /// In-process transport: one `mpsc` channel per node, shared sender set.
 ///
 /// This is the PR-3 "zero-copy gradient plane" engine behind the trait: a
 /// broadcast encodes one frame and every receiver's mailbox holds the same
-/// `Arc<Vec<u8>>`.
+/// `Arc<[u8]>`. Encode scratch buffers are recycled through one
+/// [`BufPool`] shared by every endpoint of the mesh.
 pub struct ChannelTransport {
     me: usize,
     senders: Arc<Vec<Sender<Frame>>>,
     rx: Receiver<Frame>,
+    pool: Arc<BufPool>,
     dropped: u64,
 }
 
@@ -114,6 +130,7 @@ impl ChannelTransport {
             receivers.push(rx);
         }
         let senders = Arc::new(senders);
+        let pool = Arc::new(BufPool::new());
         receivers
             .into_iter()
             .enumerate()
@@ -121,12 +138,13 @@ impl ChannelTransport {
                 me,
                 senders: Arc::clone(&senders),
                 rx,
+                pool: Arc::clone(&pool),
                 dropped: 0,
             })
             .collect()
     }
 
-    fn send_frame(&mut self, to: usize, payload: Arc<Vec<u8>>) {
+    fn send_frame(&mut self, to: usize, payload: Arc<[u8]>) {
         // A disconnected peer already shut down; count the drop so clean
         // runs can assert none happened.
         if self.senders[to]
@@ -147,11 +165,12 @@ impl Transport for ChannelTransport {
     }
 
     fn send(&mut self, to: usize, msg: &WireMsg) {
-        self.send_frame(to, Arc::new(encode(msg)));
+        let payload = encode_shared(msg, &self.pool);
+        self.send_frame(to, payload);
     }
 
     fn broadcast(&mut self, targets: &[usize], msg: &WireMsg) {
-        let payload = Arc::new(encode(msg));
+        let payload = encode_shared(msg, &self.pool);
         for &to in targets {
             self.send_frame(to, Arc::clone(&payload));
         }
@@ -202,6 +221,7 @@ mod tests {
         let b = n2.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!((a.from, b.from), (0, 1));
         assert_eq!(decode(&a.payload).unwrap(), msg(7));
+        assert_eq!(n0.link_failures(), 0, "channels never sever");
         assert!(matches!(
             n0.recv_timeout(Duration::from_millis(5)),
             Err(RecvError::Timeout)
@@ -218,6 +238,19 @@ mod tests {
         let a = n1.recv_timeout(Duration::from_secs(1)).unwrap();
         let b = n2.recv_timeout(Duration::from_secs(1)).unwrap();
         assert!(Arc::ptr_eq(&a.payload, &b.payload), "fan-out must share");
+    }
+
+    #[test]
+    fn channel_sends_recycle_encode_scratch() {
+        let mut mesh = ChannelTransport::mesh(2);
+        let mut n1 = mesh.pop().unwrap();
+        let mut n0 = mesh.pop().unwrap();
+        for step in 0..5 {
+            n0.send(1, &msg(step));
+            n1.recv_timeout(Duration::from_secs(1)).unwrap();
+        }
+        assert_eq!(n0.pool.fresh(), 1, "one warm-up allocation");
+        assert_eq!(n0.pool.recycled(), 4, "steady state reuses the scratch");
     }
 
     #[test]

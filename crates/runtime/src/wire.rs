@@ -19,12 +19,21 @@
 //! Both transports (DESIGN.md §7) share this codec. The channel transport
 //! moves whole frames, so [`decode`] alone suffices; the TCP transport sees
 //! an undelimited byte stream, so each frame travels behind a `u32`
-//! length prefix and [`StreamDecoder`] re-assembles frames incrementally.
-//! The prefix is validated against [`MAX_FRAME_BYTES`] *before* any
+//! length prefix and [`StreamDecoder`] re-assembles frames incrementally,
+//! yielding each frame as a borrow of its re-assembly buffer (no per-frame
+//! copy). The prefix is validated against [`MAX_FRAME_BYTES`] *before* any
 //! allocation — a Byzantine peer cannot make a receiver reserve gigabytes
-//! by lying about the length.
+//! by lying about the length. On the send side [`encode_shared`] fills a
+//! recycled [`BufPool`](crate::pool::BufPool) scratch buffer and
+//! [`write_frames`] flushes whole batches of prefixed frames per vectored
+//! syscall.
+
+use std::io::{IoSlice, Write};
+use std::sync::Arc;
 
 use tensor::Tensor;
+
+use crate::pool::BufPool;
 
 /// Message type tags.
 const TAG_MODEL: u8 = 1;
@@ -154,6 +163,20 @@ pub fn encode(msg: &WireMsg) -> Vec<u8> {
     buf
 }
 
+/// Encodes a message into an `Arc`-shared frame through a recycled
+/// [`BufPool`] scratch buffer: the fill runs in pooled memory and only the
+/// final right-sized `Arc<[u8]>` allocation remains per message. Both
+/// transports encode through this (one pool per mesh), so a broadcast
+/// costs one encode + one shared allocation however many receivers fan
+/// out.
+pub fn encode_shared(msg: &WireMsg, pool: &BufPool) -> Arc<[u8]> {
+    let mut scratch = pool.get();
+    encode_into(msg, &mut scratch);
+    let frame: Arc<[u8]> = scratch.as_slice().into();
+    pool.put(scratch);
+    frame
+}
+
 /// Decodes a borrowed frame.
 ///
 /// # Errors
@@ -244,13 +267,15 @@ impl StreamDecoder {
     }
 
     /// Pops the next complete frame's bytes, `Ok(None)` when more input is
-    /// needed.
+    /// needed. The frame is *borrowed straight from the re-assembly
+    /// buffer* — no per-frame copy; the receiver decodes (or `Arc`s) it
+    /// before the next [`extend`](Self::extend) may compact the buffer.
     ///
     /// # Errors
     ///
     /// [`WireError::FrameTooLarge`] when the length prefix exceeds
     /// [`MAX_FRAME_BYTES`]. The stream is unrecoverable after an error.
-    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
         let avail = &self.buf[self.start..];
         if avail.len() < PREFIX {
             return Ok(None);
@@ -263,9 +288,10 @@ impl StreamDecoder {
         if avail.len() < total {
             return Ok(None);
         }
-        let frame = avail[PREFIX..total].to_vec();
-        self.start += total;
-        Ok(Some(frame))
+        let frame_start = self.start + PREFIX;
+        let frame_end = self.start + total;
+        self.start = frame_end;
+        Ok(Some(&self.buf[frame_start..frame_end]))
     }
 
     /// Pops and decodes the next complete message (frame re-assembly plus
@@ -276,7 +302,7 @@ impl StreamDecoder {
     /// Any [`WireError`] from the prefix check or the frame codec.
     pub fn next_msg(&mut self) -> Result<Option<WireMsg>, WireError> {
         match self.next_frame()? {
-            Some(frame) => decode(&frame).map(Some),
+            Some(frame) => decode(frame).map(Some),
             None => Ok(None),
         }
     }
@@ -290,6 +316,69 @@ pub fn prefix_frame(frame: &[u8], out: &mut Vec<u8>) {
     out.reserve(PREFIX + frame.len());
     out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
     out.extend_from_slice(frame);
+}
+
+/// Hard ceiling on iovecs per `write_vectored` call (Linux caps a single
+/// `writev` at `IOV_MAX` = 1024 entries; stay well under it).
+const MAX_IOV: usize = 512;
+
+/// Writes a whole batch of frames as one length-prefixed stream burst:
+/// every frame's `u32` prefix is staged in the reused `scratch` buffer and
+/// prefixes + frame bodies go to the socket through as few
+/// [`write_vectored`](Write::write_vectored) calls as the OS allows —
+/// frame bodies are gathered zero-copy from their shared buffers, never
+/// copied into a staging area.
+///
+/// The on-wire byte sequence is **exactly** what prefixing and
+/// `write_all`-ing each frame individually would produce (the
+/// `wire_fuzz` proptests pin this against arbitrary partial-write
+/// behaviour), so batching is invisible to the receiving
+/// [`StreamDecoder`].
+///
+/// # Errors
+///
+/// Any I/O error from the underlying writer; a zero-length vectored write
+/// surfaces as [`std::io::ErrorKind::WriteZero`]. The stream position is
+/// unspecified after an error — treat the link as severed.
+pub fn write_frames<W: Write + ?Sized>(
+    out: &mut W,
+    frames: &[Arc<[u8]>],
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    scratch.clear();
+    let mut total = 0usize;
+    for f in frames {
+        scratch.extend_from_slice(&(f.len() as u32).to_le_bytes());
+        total += PREFIX + f.len();
+    }
+    let mut written = 0usize;
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity((frames.len() * 2).min(MAX_IOV));
+    while written < total {
+        // Rebuild the iovec list past the bytes already on the wire: a
+        // partial write may stop anywhere, including mid-prefix.
+        slices.clear();
+        let mut skip = written;
+        'gather: for (i, f) in frames.iter().enumerate() {
+            for part in [&scratch[i * PREFIX..(i + 1) * PREFIX], &f[..]] {
+                if skip >= part.len() {
+                    skip -= part.len();
+                    continue;
+                }
+                slices.push(IoSlice::new(&part[skip..]));
+                skip = 0;
+                if slices.len() == MAX_IOV {
+                    break 'gather;
+                }
+            }
+        }
+        match out.write_vectored(&slices) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -431,6 +520,50 @@ mod tests {
         let mut dec = StreamDecoder::new();
         dec.extend(&prefixed);
         assert_eq!(dec.next_msg().unwrap_err(), WireError::BadTag(77));
+    }
+
+    #[test]
+    fn write_frames_matches_frame_at_a_time() {
+        let frames: Vec<Arc<[u8]>> = [TAG_MODEL, TAG_GRADIENT, TAG_EXCHANGE]
+            .into_iter()
+            .map(|t| encode(&sample(t)).into())
+            .collect();
+        let mut expected = Vec::new();
+        let mut one = Vec::new();
+        for f in &frames {
+            prefix_frame(f, &mut one);
+            expected.extend_from_slice(&one);
+        }
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        write_frames(&mut out, &frames, &mut scratch).unwrap();
+        assert_eq!(out, expected, "batched bytes must equal sequential bytes");
+        // And the receiving decoder agrees.
+        let mut dec = StreamDecoder::new();
+        dec.extend(&out);
+        for t in [TAG_MODEL, TAG_GRADIENT, TAG_EXCHANGE] {
+            assert_eq!(dec.next_msg().unwrap().unwrap(), sample(t));
+        }
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn write_frames_empty_batch_writes_nothing() {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        write_frames(&mut out, &[], &mut scratch).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn encode_shared_recycles_scratch() {
+        let pool = BufPool::new();
+        let a = encode_shared(&sample(TAG_MODEL), &pool);
+        let b = encode_shared(&sample(TAG_GRADIENT), &pool);
+        assert_eq!(decode(&a).unwrap(), sample(TAG_MODEL));
+        assert_eq!(decode(&b).unwrap(), sample(TAG_GRADIENT));
+        assert_eq!(pool.fresh(), 1, "second encode reuses the first scratch");
+        assert_eq!(pool.recycled(), 1);
     }
 
     #[test]

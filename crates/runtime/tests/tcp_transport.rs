@@ -69,6 +69,10 @@ fn tcp_cluster_completes_and_drops_nothing() {
         report.dropped_sends, 0,
         "clean full-quorum TCP run must not drop sends"
     );
+    assert_eq!(
+        report.link_failures, 0,
+        "clean full-quorum TCP run must not sever links"
+    );
 }
 
 #[test]
@@ -144,6 +148,41 @@ fn tcp_shutdown_stress_no_leaks_and_stable_fingerprints() {
             "leaked threads: {now} live after runs vs baseline {base}"
         );
     }
+}
+
+/// I/O thread count per node is O(links out) + 1: a 4-node full mesh
+/// spawns 12 writer threads (one per directed link) plus 4 reader-plane
+/// threads (one per node) = 16 — not the 12 + 12 the per-link reader
+/// design cost. The mesh-construction dialler thread is joined before
+/// `mesh` returns, so it never shows up here.
+#[test]
+fn tcp_mesh_thread_count_is_out_links_plus_one_reader() {
+    use guanyu_runtime::{TcpTransport, Transport};
+    if live_threads().is_none() {
+        return; // no /proc: nothing to measure on this platform
+    }
+    const EXPECTED: usize = 4 * 3 + 4; // writers + reader planes
+    let mut delta = usize::MAX;
+    // Retry: under a parallel test harness unrelated tests churn threads,
+    // so a single exact sample can be perturbed. (CI runs this suite with
+    // --test-threads=1, where the first sample is already exact.)
+    for _ in 0..3 {
+        let base = live_threads().unwrap();
+        let mut mesh = TcpTransport::mesh(4, |_, _| true).unwrap();
+        delta = live_threads().unwrap().saturating_sub(base);
+        for t in &mut mesh {
+            t.shutdown();
+        }
+        drop(mesh);
+        if delta == EXPECTED {
+            return;
+        }
+    }
+    assert!(
+        delta <= EXPECTED,
+        "4-node full mesh spawned {delta} I/O threads; \
+         bound is 12 writers + 4 reader planes = {EXPECTED}"
+    );
 }
 
 /// The wall-timeout abort path must also tear everything down: a run too

@@ -6,7 +6,12 @@
 //! it must re-assemble honestly framed streams exactly while rejecting
 //! over-cap prefixes before buffering a single payload byte.
 
-use guanyu_runtime::{decode, encode, prefix_frame, StreamDecoder, WireMsg, MAX_FRAME_BYTES};
+use std::io::{IoSlice, Write};
+use std::sync::Arc;
+
+use guanyu_runtime::{
+    decode, encode, prefix_frame, write_frames, StreamDecoder, WireMsg, MAX_FRAME_BYTES,
+};
 use proptest::prelude::*;
 use tensor::Tensor;
 
@@ -16,6 +21,59 @@ fn build_msg(tag: u8, step: u64, payload: Vec<f32>) -> WireMsg {
         0 => WireMsg::Model { step, params: t },
         1 => WireMsg::Gradient { step, grad: t },
         _ => WireMsg::Exchange { step, params: t },
+    }
+}
+
+/// A `Write` sink with adversarial partial-write behaviour: each call
+/// accepts at most the next value of a cycled limit schedule, so a batched
+/// write may stop anywhere — mid-prefix, mid-frame, one byte at a time —
+/// exactly like a congested socket. With `vectored` off it additionally
+/// degrades `write_vectored` to the std default (first non-empty slice
+/// only), covering writers with no true gather support.
+struct ChoppyWriter {
+    out: Vec<u8>,
+    limits: Vec<usize>,
+    calls: usize,
+    vectored: bool,
+}
+
+impl ChoppyWriter {
+    fn next_limit(&mut self) -> usize {
+        let l = self.limits[self.calls % self.limits.len()];
+        self.calls += 1;
+        l.max(1) // a sink must make *some* progress or WriteZero is correct
+    }
+}
+
+impl Write for ChoppyWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.next_limit());
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+        if !self.vectored {
+            // std's default: only the first non-empty buffer.
+            let first = bufs.iter().find(|b| !b.is_empty()).map_or(&[][..], |b| b);
+            return self.write(first);
+        }
+        let mut budget = self.next_limit();
+        let mut written = 0;
+        for b in bufs {
+            let n = b.len().min(budget);
+            self.out.extend_from_slice(&b[..n]);
+            written += n;
+            budget -= n;
+            if budget == 0 {
+                break;
+            }
+        }
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
     }
 }
 
@@ -126,6 +184,45 @@ proptest! {
         dec.extend(&bad.to_le_bytes());
         dec.extend(&noise);
         prop_assert!(dec.next_frame().is_err());
+    }
+
+    /// The batched writer's on-wire byte stream is identical to prefixing
+    /// and `write_all`-ing each frame individually, for arbitrary frame
+    /// sequences and arbitrary partial-write behaviour — batching is
+    /// invisible to the receiving `StreamDecoder`.
+    #[test]
+    fn batched_writer_stream_equals_frame_at_a_time(
+        specs in proptest::collection::vec(
+            (0u8..3, any::<u64>(), proptest::collection::vec(-1e3f32..1e3, 0..24)),
+            0..8,
+        ),
+        limits in proptest::collection::vec(1usize..97, 1..8),
+        vectored in any::<bool>(),
+    ) {
+        let msgs: Vec<WireMsg> = specs
+            .into_iter()
+            .map(|(tag, step, payload)| build_msg(tag, step, payload))
+            .collect();
+        let frames: Vec<Arc<[u8]>> = msgs.iter().map(|m| encode(m).into()).collect();
+        let mut expected = Vec::new();
+        let mut prefixed = Vec::new();
+        for f in &frames {
+            prefix_frame(f, &mut prefixed);
+            expected.extend_from_slice(&prefixed);
+        }
+        let mut sink = ChoppyWriter { out: Vec::new(), limits, calls: 0, vectored };
+        let mut scratch = Vec::new();
+        write_frames(&mut sink, &frames, &mut scratch).unwrap();
+        prop_assert_eq!(&sink.out, &expected);
+        // And the stream decodes back to exactly the original sequence.
+        let mut dec = StreamDecoder::new();
+        dec.extend(&sink.out);
+        let mut out = Vec::new();
+        while let Some(m) = dec.next_msg().unwrap() {
+            out.push(m);
+        }
+        prop_assert_eq!(out, msgs);
+        prop_assert_eq!(dec.pending(), 0);
     }
 
     /// Truncating a prefixed stream anywhere never yields a phantom
