@@ -1,0 +1,241 @@
+//! Blockwise (per-shard) modes of the distance-based rules.
+//!
+//! Coordinate-wise GARs commute with partitioning the coordinate space, so
+//! sharding them is exact (see the `*_range_into` kernels). Krum-family
+//! rules do **not**: their selection step depends on a *global* distance
+//! matrix over the full vectors. The blockwise mode defined here is what a
+//! sharded deployment actually computes — each shard group builds its own
+//! distance matrix over its coordinate range and runs the full
+//! selection-then-fold pipeline on that range alone, so the output is the
+//! concatenation of per-block aggregates.
+//!
+//! # Semantics delta (documented, deliberate)
+//!
+//! Blockwise Multi-Krum/Bulyan are *different rules* from their global
+//! forms: a vector that is an outlier only inside one block is rejected in
+//! that block but can still be selected in the others, whereas global Krum
+//! judges it once on the whole vector. For
+//! [`ScoreMetric::SquaredEuclidean`] the per-block squared distances of a
+//! tiling sum to the full-vector squared distance, so the *scores* are
+//! consistent in aggregate — but per-block *selection* can still differ
+//! from global selection whenever outlier mass is unevenly spread across
+//! blocks (the `blockwise_selection_can_differ_from_global` test constructs
+//! exactly that). The paper's Byzantine-resilience guarantee applies
+//! per-block: each block tolerates `f` Byzantine inputs *on that block*.
+//! DESIGN.md §9 discusses when this is acceptable.
+
+use std::ops::Range;
+
+use crate::kernel::{self, Exec};
+use crate::ScoreMetric;
+
+/// Blockwise Multi-Krum: per block, score on the block-local distance
+/// matrix, select the `n − f − 2` smallest-scoring inputs, and average them
+/// into `out[block]`.
+///
+/// `blocks` must tile `0..out.len()` (typically a `ShardPlan`'s ranges).
+/// With a single block covering everything this is exactly global
+/// Multi-Krum.
+///
+/// # Panics
+///
+/// Panics when `inputs.len() < 2f + 3` (Krum's minimum), when inputs are
+/// shorter than `out`, or when a block falls outside `out`.
+pub fn multi_krum_blockwise(
+    exec: Exec,
+    inputs: &[&[f32]],
+    f: usize,
+    metric: ScoreMetric,
+    blocks: &[Range<usize>],
+    out: &mut [f32],
+) {
+    let n = inputs.len();
+    assert!(n >= 2 * f + 3, "multi-krum needs n >= 2f + 3 inputs");
+    let m = n - f - 2;
+    for block in blocks {
+        let dist = kernel::pairwise_distances_range(exec, inputs, block.clone(), metric);
+        let k = n - f - 2;
+        let scores = kernel::krum_scores(&dist, n, k);
+        let selected = kernel::select_smallest(&scores, m);
+        let chosen: Vec<&[f32]> = selected.iter().map(|&i| inputs[i]).collect();
+        kernel::average_range_into(exec, &chosen, block.start, &mut out[block.clone()]);
+    }
+}
+
+/// Blockwise Bulyan: per block, iterated Krum selection on the block-local
+/// distance matrix (`n − 2f` winners), then the `β = n − 4f` trimmed fold —
+/// the same two phases as [`crate::Bulyan`], run independently per range.
+///
+/// # Panics
+///
+/// Panics when `f == 0`, `inputs.len() < 4f + 3`, inputs shorter than
+/// `out`, or a block outside `out`.
+pub fn bulyan_blockwise(
+    exec: Exec,
+    inputs: &[&[f32]],
+    f: usize,
+    metric: ScoreMetric,
+    blocks: &[Range<usize>],
+    out: &mut [f32],
+) {
+    let n = inputs.len();
+    assert!(f >= 1, "bulyan requires f >= 1");
+    assert!(n >= 4 * f + 3, "bulyan needs n >= 4f + 3 inputs");
+    let select_count = n - 2 * f;
+    let beta = n - 4 * f;
+    for block in blocks {
+        let dist = kernel::pairwise_distances_range(exec, inputs, block.clone(), metric);
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut selected: Vec<usize> = Vec::with_capacity(select_count);
+        while selected.len() < select_count {
+            let m = active.len();
+            // Mirror of `Bulyan::aggregate`: below Krum's 2f+3 floor the
+            // remaining actives are taken in index order.
+            let winner = if m >= 2 * f + 3 {
+                let k = m - f - 2;
+                let scores = kernel::krum_scores_masked(&dist, n, &active, k);
+                active[kernel::select_smallest(&scores, 1)[0]]
+            } else {
+                active[0]
+            };
+            selected.push(winner);
+            active.retain(|&i| i != winner);
+        }
+        let chosen: Vec<&[f32]> = selected.iter().map(|&i| inputs[i]).collect();
+        kernel::bulyan_fold_range_into(exec, &chosen, beta, block.start, &mut out[block.clone()]);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // a one-block plan IS a single range
+mod tests {
+    use super::*;
+    use crate::{Bulyan, Gar, MultiKrum};
+    use tensor::Tensor;
+
+    fn lcg_inputs(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u32 << 30) as f32) - 1.5
+        };
+        (0..n).map(|_| (0..d).map(|_| next()).collect()).collect()
+    }
+
+    #[test]
+    fn single_block_matches_global_multi_krum() {
+        let data = lcg_inputs(7, 33, 0xAB);
+        let views: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let mut out = vec![0.0f32; 33];
+        multi_krum_blockwise(
+            Exec::auto(),
+            &views,
+            1,
+            ScoreMetric::default(),
+            &[0..33],
+            &mut out,
+        );
+        let tensors: Vec<Tensor> = data.iter().map(|r| Tensor::from_flat(r.clone())).collect();
+        let global = MultiKrum::new(1).unwrap().aggregate(&tensors).unwrap();
+        assert_eq!(out.as_slice(), global.as_slice());
+    }
+
+    #[test]
+    fn single_block_matches_global_bulyan() {
+        let data = lcg_inputs(7, 21, 0xCD);
+        let views: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let mut out = vec![0.0f32; 21];
+        bulyan_blockwise(
+            Exec::auto(),
+            &views,
+            1,
+            ScoreMetric::default(),
+            &[0..21],
+            &mut out,
+        );
+        let tensors: Vec<Tensor> = data.iter().map(|r| Tensor::from_flat(r.clone())).collect();
+        let global = Bulyan::new(1).unwrap().aggregate(&tensors).unwrap();
+        assert_eq!(out.as_slice(), global.as_slice());
+    }
+
+    #[test]
+    fn blocks_equal_independent_per_slice_runs() {
+        // The blockwise output over a tiling is exactly the concatenation
+        // of running the rule independently on each slice of the inputs.
+        let data = lcg_inputs(9, 40, 0xEF);
+        let views: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let blocks = [0..13, 13..14, 14..40];
+        let mut out = vec![0.0f32; 40];
+        multi_krum_blockwise(
+            Exec::auto(),
+            &views,
+            2,
+            ScoreMetric::default(),
+            &blocks,
+            &mut out,
+        );
+        for block in &blocks {
+            let slices: Vec<Tensor> = data
+                .iter()
+                .map(|r| Tensor::from_flat(r[block.clone()].to_vec()))
+                .collect();
+            let per_slice = MultiKrum::new(2).unwrap().aggregate(&slices).unwrap();
+            assert_eq!(
+                &out[block.clone()],
+                per_slice.as_slice(),
+                "block {block:?} diverged from an independent slice run"
+            );
+        }
+    }
+
+    #[test]
+    fn blockwise_selection_can_differ_from_global() {
+        // Two attackers, each poisoning a different half: globally both are
+        // mild outliers and one may be selected; per block each attacker is
+        // an extreme outlier in its half and is rejected there, so the
+        // blockwise aggregate stays near the honest cluster in *both*
+        // halves. This is the documented semantics delta.
+        let d = 8;
+        let mut data: Vec<Vec<f32>> = (0..5).map(|i| vec![0.01 * i as f32; d]).collect();
+        let mut left_attacker = vec![0.0f32; d];
+        for x in &mut left_attacker[..d / 2] {
+            *x = 100.0;
+        }
+        let mut right_attacker = vec![0.0f32; d];
+        for x in &mut right_attacker[d / 2..] {
+            *x = 100.0;
+        }
+        data.push(left_attacker);
+        data.push(right_attacker);
+        let views: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+
+        let mut blockwise = vec![0.0f32; d];
+        multi_krum_blockwise(
+            Exec::auto(),
+            &views,
+            1,
+            ScoreMetric::default(),
+            &[0..d / 2, d / 2..d],
+            &mut blockwise,
+        );
+        for (i, &v) in blockwise.iter().enumerate() {
+            assert!(
+                v.abs() < 1.0,
+                "blockwise coordinate {i} polluted by a block-local outlier: {v}"
+            );
+        }
+        let mut global = vec![0.0f32; d];
+        multi_krum_blockwise(
+            Exec::auto(),
+            &views,
+            1,
+            ScoreMetric::default(),
+            &[0..d],
+            &mut global,
+        );
+        assert_ne!(
+            blockwise, global,
+            "expected the constructed split-outlier inputs to separate the modes"
+        );
+    }
+}

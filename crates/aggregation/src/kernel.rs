@@ -184,6 +184,23 @@ pub fn pairwise_distances(exec: Exec, inputs: &[&[f32]], metric: ScoreMetric) ->
     dist
 }
 
+/// [`pairwise_distances`] restricted to the coordinate window `range` of
+/// every input — the per-shard distance matrix of the blockwise Krum-family
+/// rules (see [`crate::blockwise`]). Each distance runs the exact serial
+/// operation chain on the subslices, so for
+/// [`ScoreMetric::SquaredEuclidean`] the per-range matrices of a tiling sum
+/// to the full matrix exactly up to the f64→f32→f64 rounding of the shared
+/// `distance` chain.
+pub fn pairwise_distances_range(
+    exec: Exec,
+    inputs: &[&[f32]],
+    range: std::ops::Range<usize>,
+    metric: ScoreMetric,
+) -> Vec<f64> {
+    let windows: Vec<&[f32]> = inputs.iter().map(|v| &v[range.clone()]).collect();
+    pairwise_distances(exec, &windows, metric)
+}
+
 /// Krum scores from a full distance matrix: the score of input `i` is the
 /// sum of its `k` smallest distances to *other* inputs.
 pub fn krum_scores(dist: &[f64], n: usize, k: usize) -> Vec<f32> {
@@ -262,11 +279,20 @@ fn closest_window(sorted: &[f32], keep: usize, center: f32) -> usize {
 /// applied to Multi-Krum's selection set). Summation order is input order,
 /// matching a sequential `add_assign` fold.
 pub fn average_into(exec: Exec, inputs: &[&[f32]], out: &mut [f32]) {
+    average_range_into(exec, inputs, 0, out);
+}
+
+/// [`average_into`] over the coordinate window `start .. start + out.len()`
+/// of the inputs: the blockwise form a shard group runs on its range of the
+/// full vectors (DESIGN.md §9). Per coordinate it is the *same* operation
+/// chain as the full kernel, so `average_range_into` over any tiling is
+/// bit-identical to one full `average_into`.
+pub fn average_range_into(exec: Exec, inputs: &[&[f32]], start: usize, out: &mut [f32]) {
     let n = inputs.len();
     let inv = 1.0 / n as f32;
     fill_chunked(exec, out, n, |offset, chunk| {
         for (c, o) in chunk.iter_mut().enumerate() {
-            let i = offset + c;
+            let i = start + offset + c;
             let mut acc = inputs[0][i];
             for input in &inputs[1..] {
                 acc += input[i];
@@ -278,11 +304,17 @@ pub fn average_into(exec: Exec, inputs: &[&[f32]], out: &mut [f32]) {
 
 /// Coordinate-wise median (`M` in the paper).
 pub fn median_into(exec: Exec, inputs: &[&[f32]], out: &mut [f32]) {
+    median_range_into(exec, inputs, 0, out);
+}
+
+/// [`median_into`] over the window `start .. start + out.len()` (blockwise
+/// form; bit-identical per coordinate to the full kernel).
+pub fn median_range_into(exec: Exec, inputs: &[&[f32]], start: usize, out: &mut [f32]) {
     let n = inputs.len();
     fill_chunked(exec, out, n, |offset, chunk| {
         let mut column = vec![0.0f32; n];
         for (c, o) in chunk.iter_mut().enumerate() {
-            gather(inputs, offset + c, &mut column);
+            gather(inputs, start + offset + c, &mut column);
             *o = column_median(&mut column);
         }
     });
@@ -291,12 +323,24 @@ pub fn median_into(exec: Exec, inputs: &[&[f32]], out: &mut [f32]) {
 /// Coordinate-wise `trim`-trimmed mean: drop the `trim` smallest and
 /// largest values per coordinate, average the rest.
 pub fn trimmed_mean_into(exec: Exec, inputs: &[&[f32]], trim: usize, out: &mut [f32]) {
+    trimmed_mean_range_into(exec, inputs, trim, 0, out);
+}
+
+/// [`trimmed_mean_into`] over the window `start .. start + out.len()`
+/// (blockwise form; bit-identical per coordinate to the full kernel).
+pub fn trimmed_mean_range_into(
+    exec: Exec,
+    inputs: &[&[f32]],
+    trim: usize,
+    start: usize,
+    out: &mut [f32],
+) {
     let n = inputs.len();
     let keep = n - 2 * trim;
     fill_chunked(exec, out, n, |offset, chunk| {
         let mut column = vec![0.0f32; n];
         for (c, o) in chunk.iter_mut().enumerate() {
-            gather(inputs, offset + c, &mut column);
+            gather(inputs, start + offset + c, &mut column);
             column.sort_unstable_by(f32::total_cmp);
             let kept = &column[trim..trim + keep];
             *o = kept.iter().sum::<f32>() / keep as f32;
@@ -307,19 +351,31 @@ pub fn trimmed_mean_into(exec: Exec, inputs: &[&[f32]], trim: usize, out: &mut [
 /// Coordinate-wise mean-around-the-median: average the `keep` values
 /// closest to each coordinate's median.
 pub fn meamed_into(exec: Exec, inputs: &[&[f32]], keep: usize, out: &mut [f32]) {
+    meamed_range_into(exec, inputs, keep, 0, out);
+}
+
+/// [`meamed_into`] over the window `start .. start + out.len()` (blockwise
+/// form; bit-identical per coordinate to the full kernel).
+pub fn meamed_range_into(
+    exec: Exec,
+    inputs: &[&[f32]],
+    keep: usize,
+    start: usize,
+    out: &mut [f32],
+) {
     let n = inputs.len();
     fill_chunked(exec, out, n, |offset, chunk| {
         let mut column = vec![0.0f32; n];
         for (c, o) in chunk.iter_mut().enumerate() {
-            gather(inputs, offset + c, &mut column);
+            gather(inputs, start + offset + c, &mut column);
             column.sort_unstable_by(f32::total_cmp);
             let median = if n % 2 == 1 {
                 column[n / 2]
             } else {
                 0.5 * (column[n / 2 - 1] + column[n / 2])
             };
-            let start = closest_window(&column, keep, median);
-            let window = &column[start..start + keep];
+            let win = closest_window(&column, keep, median);
+            let window = &column[win..win + keep];
             *o = window.iter().sum::<f32>() / keep as f32;
         }
     });
@@ -330,19 +386,31 @@ pub fn meamed_into(exec: Exec, inputs: &[&[f32]], keep: usize, out: &mut [f32]) 
 /// [`meamed_into`]; kept separate because the two rules draw their windows
 /// from different input sets and the bench layer compares them.)
 pub fn bulyan_fold_into(exec: Exec, inputs: &[&[f32]], beta: usize, out: &mut [f32]) {
+    bulyan_fold_range_into(exec, inputs, beta, 0, out);
+}
+
+/// [`bulyan_fold_into`] over the window `start .. start + out.len()`
+/// (blockwise form; bit-identical per coordinate to the full kernel).
+pub fn bulyan_fold_range_into(
+    exec: Exec,
+    inputs: &[&[f32]],
+    beta: usize,
+    start: usize,
+    out: &mut [f32],
+) {
     let m = inputs.len();
     fill_chunked(exec, out, m, |offset, chunk| {
         let mut column = vec![0.0f32; m];
         for (c, o) in chunk.iter_mut().enumerate() {
-            gather(inputs, offset + c, &mut column);
+            gather(inputs, start + offset + c, &mut column);
             column.sort_unstable_by(f32::total_cmp);
             let median = if m % 2 == 1 {
                 column[m / 2]
             } else {
                 0.5 * (column[m / 2 - 1] + column[m / 2])
             };
-            let start = closest_window(&column, beta, median);
-            let window = &column[start..start + beta];
+            let win = closest_window(&column, beta, median);
+            let window = &column[win..win + beta];
             *o = window.iter().sum::<f32>() / beta as f32;
         }
     });
@@ -410,6 +478,56 @@ mod tests {
         let mut out = vec![0.0f32; 2];
         average_into(Exec::Serial, &views, &mut out);
         assert_eq!(out, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn range_kernels_tile_to_the_full_kernels() {
+        // Any tiling of the coordinate space through the *_range_into forms
+        // reproduces the full kernel bit-for-bit — the identity the sharded
+        // gradient plane rests on.
+        let d = 257; // odd, prime-ish: exercises uneven tails
+        let mut state = 0x51ED_BEEFu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u32 << 30) as f32) - 1.5
+        };
+        let data: Vec<Vec<f32>> = (0..7).map(|_| (0..d).map(|_| next()).collect()).collect();
+        let views: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let bounds = [0usize, 1, 100, 101, 200, 257];
+
+        type RangeKernel = fn(Exec, &[&[f32]], usize, &mut [f32]);
+        let kernels: Vec<(&str, RangeKernel)> = vec![
+            ("average", average_range_into),
+            ("median", median_range_into),
+            ("trimmed", |e, v, s, o| {
+                trimmed_mean_range_into(e, v, 1, s, o)
+            }),
+            ("meamed", |e, v, s, o| meamed_range_into(e, v, 5, s, o)),
+            ("bulyan_fold", |e, v, s, o| {
+                bulyan_fold_range_into(e, v, 3, s, o)
+            }),
+        ];
+        for (name, kernel) in kernels {
+            let mut full = vec![0.0f32; d];
+            kernel(Exec::auto(), &views, 0, &mut full);
+            let mut tiled = vec![0.0f32; d];
+            for w in bounds.windows(2) {
+                kernel(Exec::auto(), &views, w[0], &mut tiled[w[0]..w[1]]);
+            }
+            assert_eq!(tiled, full, "{name}: tiling changed bits");
+        }
+    }
+
+    #[test]
+    fn range_distance_matrix_matches_subslices() {
+        let data: Vec<Vec<f32>> = rows(&[&[1.0, 5.0, 9.0], &[2.0, 5.0, 1.0], &[0.0, 0.0, 0.0]]);
+        let views: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let ranged =
+            pairwise_distances_range(Exec::Serial, &views, 1..3, ScoreMetric::SquaredEuclidean);
+        let sliced: Vec<Vec<f32>> = data.iter().map(|r| r[1..3].to_vec()).collect();
+        let sliced_views: Vec<&[f32]> = sliced.iter().map(|r| r.as_slice()).collect();
+        let direct = pairwise_distances(Exec::Serial, &sliced_views, ScoreMetric::SquaredEuclidean);
+        assert_eq!(ranged, direct);
     }
 
     #[cfg(feature = "parallel")]

@@ -50,6 +50,7 @@
 #![deny(unsafe_code)]
 
 mod average;
+pub mod blockwise;
 mod bulyan;
 mod error;
 mod gar;

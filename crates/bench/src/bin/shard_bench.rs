@@ -1,0 +1,362 @@
+//! Sharded-gradient-plane sweep (DESIGN.md §9): what splitting the
+//! parameter vector across per-range server groups buys, and proof it
+//! changes nothing.
+//!
+//! Two parts:
+//!
+//! * **cluster parity** — the threaded runtime at shards 1/2/4 on both
+//!   transports, same seed and full quorums: every sharded run must be
+//!   bit-identical (trace fingerprint and final parameters) to the
+//!   unsharded run, with zero dropped sends and zero link failures;
+//! * **kernel sweep** — the aggregation work one server group performs per
+//!   fold, at growing model dimension (d from 1.75M, the paper's model,
+//!   up to 17.5M; `--paper` adds ~70M) and shards 1/2/4/8. Groups run on
+//!   disjoint machines in a real deployment, so the per-fold latency of a
+//!   sharded plane is the *slowest group's* time: the sweep times each
+//!   group's range kernel sequentially (this is a single box) and reports
+//!   `speedup = t_unsharded / max_g t_g` — the per-machine aggregation
+//!   latency win, ~k× anywhere since coordinate-wise work is linear in
+//!   range width. The per-shard outputs' positional digests must XOR to
+//!   exactly the full kernel's digest at every point.
+//!
+//! Flags: `--tiny` (CI smoke), `--paper` (adds the ~70M point),
+//! `--steps N` (cluster-part protocol steps), `--trials N` (kernel timing
+//! trials, min is kept), `--only SUBSTR` (label filter on both parts),
+//! `--help`.
+
+use std::time::{Duration, Instant};
+
+use aggregation::kernel::{self, Exec};
+use data::{synthetic_cifar, SyntheticConfig};
+use guanyu::config::ClusterConfig;
+use guanyu::shard::ShardPlan;
+use guanyu::trace::positional_digest;
+use guanyu_bench::{arg, flag, save_json, selected};
+use guanyu_runtime::{run_cluster, ClusterReport, RuntimeConfig, TransportKind};
+use nn::{Dense, Flatten, Relu, Sequential};
+use serde::Serialize;
+use tensor::TensorRng;
+
+/// One cluster-parity point: a full threaded run at some shard count.
+#[derive(Debug, Clone, Serialize)]
+struct ClusterPoint {
+    /// Point label.
+    label: String,
+    /// Transport label.
+    transport: String,
+    /// Shard groups.
+    shards: usize,
+    /// Model parameter count.
+    dim: usize,
+    /// Protocol steps.
+    steps: u64,
+    /// Wall seconds.
+    wall_secs: f64,
+    /// Model updates per wall second (logical replicas × steps / wall).
+    updates_per_sec: f64,
+    /// Whole-run trace fingerprint.
+    fingerprint: u64,
+    /// Bit-identical to this transport's unsharded run.
+    matches_unsharded: bool,
+    /// Sends dropped (must be 0: full quorums).
+    dropped_sends: u64,
+    /// Links severed (must be 0).
+    link_failures: u64,
+    /// Frame-pool counters of the run.
+    pool_fresh: u64,
+    /// Frame-pool counters of the run.
+    pool_recycled: u64,
+    /// Frame-pool counters of the run.
+    pool_high_water: u64,
+}
+
+/// One kernel-sweep point: one rule × dimension × shard count.
+#[derive(Debug, Clone, Serialize)]
+struct KernelPoint {
+    /// Aggregation rule.
+    rule: String,
+    /// Vector dimension.
+    dim: usize,
+    /// Shard groups.
+    shards: usize,
+    /// Slowest group's kernel time (the sharded plane's per-fold latency).
+    max_group_secs: f64,
+    /// Sum of all groups' kernel times (total compute, ≈ unsharded time).
+    sum_group_secs: f64,
+    /// `t_unsharded / max_group_secs` against this rule+dim's shards=1
+    /// point (1.0 at shards=1 by construction).
+    speedup_vs_unsharded: f64,
+    /// Positional digest of the assembled output (XOR of per-shard
+    /// digests) — must equal the unsharded kernel's digest.
+    digest: u64,
+    /// Digest parity with the unsharded fold held.
+    digest_matches_full: bool,
+}
+
+/// Everything the sweep measured, one JSON object.
+#[derive(Debug, Clone, Serialize, Default)]
+struct ShardBenchReport {
+    /// Cluster-parity points.
+    cluster: Vec<ClusterPoint>,
+    /// Kernel-sweep points.
+    kernel: Vec<KernelPoint>,
+}
+
+/// Same knob as `transport_bench`: an MLP whose parameter count is ~203·h.
+fn wide_mlp(hidden: usize, rng: &mut TensorRng) -> Sequential {
+    Sequential::new()
+        .with(Flatten::new())
+        .with(Dense::new(3 * 8 * 8, hidden, rng))
+        .with(Relu::new())
+        .with(Dense::new(hidden, 10, rng))
+}
+
+fn run_once(hidden: usize, steps: u64, transport: TransportKind, shards: usize) -> ClusterReport {
+    let cfg = RuntimeConfig {
+        cluster: ClusterConfig::with_quorums(3, 0, 6, 0, 3, 6).expect("valid"),
+        max_steps: steps,
+        batch_size: 16,
+        seed: 7,
+        // Coordinate-wise server GAR: per-range folds tile to the full
+        // fold, so sharding is exactly parity-preserving (selection-based
+        // rules like Multi-Krum shift to blockwise semantics instead —
+        // see aggregation::blockwise).
+        server_gar: aggregation::GarKind::Median,
+        wall_timeout: Duration::from_secs(600),
+        transport,
+        shards,
+        ..RuntimeConfig::default_for_tests()
+    };
+    let train = synthetic_cifar(&SyntheticConfig {
+        train: 128,
+        test: 0,
+        side: 8,
+        seed: 7,
+        ..Default::default()
+    })
+    .expect("dataset")
+    .0;
+    run_cluster(&cfg, |rng| wide_mlp(hidden, rng), train).expect("sweep run")
+}
+
+fn cluster_part(tiny: bool, steps: u64, only: &str, report: &mut ShardBenchReport) {
+    let hidden = if tiny { 32 } else { 128 };
+    println!(
+        "-- cluster parity: 3 servers/group + 6 workers, d ≈ {} --",
+        203 * hidden
+    );
+    println!(
+        "{:<16} {:>9} {:>7} {:>10} {:>12} {:>19} {:>8}",
+        "label", "transport", "shards", "wall (s)", "updates/s", "fingerprint", "parity"
+    );
+    for transport in [TransportKind::Channel, TransportKind::TcpLoopback] {
+        let mut baseline: Option<ClusterReport> = None;
+        for shards in [1usize, 2, 4] {
+            let label = format!("cluster k={shards}");
+            if !selected(&label, only) {
+                continue;
+            }
+            let r = run_once(hidden, steps, transport, shards);
+            assert_eq!(r.dropped_sends, 0, "{label}/{transport}: dropped sends");
+            assert_eq!(r.link_failures, 0, "{label}/{transport}: link failures");
+            let matches = match &baseline {
+                None => {
+                    baseline = Some(r.clone());
+                    true
+                }
+                Some(base) => {
+                    let same = base.trace == r.trace
+                        && base
+                            .final_params
+                            .iter()
+                            .zip(&r.final_params)
+                            .all(|(a, b)| a.as_slice() == b.as_slice());
+                    assert!(
+                        same,
+                        "{label}/{transport}: sharded run diverged from unsharded"
+                    );
+                    same
+                }
+            };
+            let point = ClusterPoint {
+                label,
+                transport: transport.to_string(),
+                shards,
+                dim: r.final_params[0].len(),
+                steps,
+                wall_secs: r.wall_secs,
+                updates_per_sec: r.updates as f64 / r.wall_secs,
+                fingerprint: r.trace.fingerprint(),
+                matches_unsharded: matches,
+                dropped_sends: r.dropped_sends,
+                link_failures: r.link_failures,
+                pool_fresh: r.pool.fresh,
+                pool_recycled: r.pool.recycled,
+                pool_high_water: r.pool.high_water,
+            };
+            println!(
+                "{:<16} {:>9} {:>7} {:>10.3} {:>12.1} {:>#19x} {:>8}",
+                point.label,
+                point.transport,
+                point.shards,
+                point.wall_secs,
+                point.updates_per_sec,
+                point.fingerprint,
+                if point.matches_unsharded {
+                    "ok"
+                } else {
+                    "FAIL"
+                }
+            );
+            report.cluster.push(point);
+        }
+    }
+    println!();
+}
+
+/// Deterministic pseudo-random inputs (LCG over the coordinate index).
+fn kernel_inputs(n: usize, d: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            let mut x = 0x2545_F491_4F6C_DD1Du64.wrapping_mul(i as u64 + 1);
+            (0..d)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((x >> 40) as f32) / 1.0e6 - 8.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+type RangeKernel = fn(Exec, &[&[f32]], usize, &mut [f32]);
+
+fn kernel_part(tiny: bool, paper: bool, trials: usize, only: &str, report: &mut ShardBenchReport) {
+    const N: usize = 7; // inputs per fold: one gradient per worker
+    let dims: Vec<usize> = if tiny {
+        vec![65_536]
+    } else if paper {
+        vec![1_750_000, 8_750_000, 17_500_000, 70_000_000]
+    } else {
+        vec![1_750_000, 8_750_000, 17_500_000]
+    };
+    let rules: Vec<(&str, RangeKernel)> = vec![
+        ("median", |e, i, s, o| kernel::median_range_into(e, i, s, o)),
+        ("average", |e, i, s, o| {
+            kernel::average_range_into(e, i, s, o)
+        }),
+        ("trimmed_mean_1", |e, i, s, o| {
+            kernel::trimmed_mean_range_into(e, i, 1, s, o)
+        }),
+    ];
+    println!("-- kernel sweep: n = {N} inputs, {trials} trial(s), min kept --");
+    println!(
+        "{:<16} {:>10} {:>7} {:>12} {:>12} {:>9} {:>7}",
+        "rule", "d", "shards", "max grp (s)", "sum grp (s)", "speedup", "digest"
+    );
+    for d in dims {
+        let inputs = kernel_inputs(N, d);
+        let views: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+        for (rule, f) in &rules {
+            let label = format!("kernel {rule} d={d}");
+            if !selected(&label, only) {
+                continue;
+            }
+            let mut out = vec![0.0f32; d];
+            let mut full_secs = 0.0;
+            let mut full_digest = 0u64;
+            for shards in [1usize, 2, 4, 8] {
+                let plan = ShardPlan::even(d, shards).expect("shards ≤ d");
+                out.iter_mut().for_each(|x| *x = 0.0);
+                let mut max_group = 0.0f64;
+                let mut sum_group = 0.0f64;
+                for range in plan.ranges() {
+                    let mut best = f64::INFINITY;
+                    for _ in 0..trials {
+                        let t = Instant::now();
+                        f(Exec::auto(), &views, range.start, &mut out[range.clone()]);
+                        best = best.min(t.elapsed().as_secs_f64());
+                    }
+                    max_group = max_group.max(best);
+                    sum_group += best;
+                }
+                // Positional digests of the per-shard slices XOR to the
+                // digest of the assembled vector.
+                let digest = plan
+                    .ranges()
+                    .fold(0u64, |acc, r| acc ^ positional_digest(r.start, &out[r]));
+                if shards == 1 {
+                    full_secs = max_group;
+                    full_digest = digest;
+                }
+                let matches = digest == full_digest;
+                assert!(
+                    matches,
+                    "{rule} d={d} k={shards}: digest diverged from full fold"
+                );
+                let point = KernelPoint {
+                    rule: (*rule).to_string(),
+                    dim: d,
+                    shards,
+                    max_group_secs: max_group,
+                    sum_group_secs: sum_group,
+                    speedup_vs_unsharded: full_secs / max_group,
+                    digest,
+                    digest_matches_full: matches,
+                };
+                println!(
+                    "{:<16} {:>10} {:>7} {:>12.4} {:>12.4} {:>8.2}x {:>7}",
+                    point.rule,
+                    point.dim,
+                    point.shards,
+                    point.max_group_secs,
+                    point.sum_group_secs,
+                    point.speedup_vs_unsharded,
+                    if point.digest_matches_full {
+                        "ok"
+                    } else {
+                        "FAIL"
+                    }
+                );
+                report.kernel.push(point);
+            }
+        }
+    }
+    println!();
+}
+
+const HELP: &str = "\
+shard_bench — sharded gradient plane sweep (DESIGN.md §9)
+
+USAGE: shard_bench [FLAGS]
+
+FLAGS:
+    --tiny          CI smoke: small model, d = 65_536 kernel point
+    --paper         add the ~70M-coordinate kernel point
+    --steps N       cluster-part protocol steps (default: 6, tiny: 3)
+    --trials N      kernel timing trials, min kept (default: 3, tiny: 1)
+    --only SUBSTR   run only points whose label contains SUBSTR
+                    (labels: 'cluster k=K', 'kernel RULE d=D')
+    --help          print this help and exit
+
+Writes results/shard_bench.json.";
+
+fn main() {
+    if flag("help") {
+        println!("{HELP}");
+        return;
+    }
+    let tiny = flag("tiny");
+    let paper = flag("paper");
+    let steps: u64 = arg("steps", if tiny { 3 } else { 6 });
+    let trials: usize = arg("trials", if tiny { 1 } else { 3 });
+    let only: String = arg("only", String::new());
+
+    println!("shard sweep: {steps} cluster steps, {trials} kernel trial(s)\n");
+    let mut report = ShardBenchReport::default();
+    cluster_part(tiny, steps, &only, &mut report);
+    kernel_part(tiny, paper, trials, &only, &mut report);
+    save_json("shard_bench", &report);
+}

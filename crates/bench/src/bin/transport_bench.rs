@@ -18,13 +18,14 @@
 //!
 //! Flags: `--tiny` (CI smoke), `--steps N`, `--trials N`,
 //! `--paper` (paper-shaped cluster and paper-scale d),
-//! `--only SUBSTR` (run only points whose label contains SUBSTR).
+//! `--only SUBSTR` (run only points whose label contains SUBSTR),
+//! `--help` (print the flags and exit).
 
 use std::time::Duration;
 
 use data::{synthetic_cifar, SyntheticConfig};
 use guanyu::config::ClusterConfig;
-use guanyu_bench::{arg, flag, save_json};
+use guanyu_bench::{arg, flag, save_json, selected};
 use guanyu_runtime::{run_cluster, ClusterReport, RuntimeConfig, TransportKind};
 use nn::{models, Dense, Flatten, Relu, Sequential};
 use serde::Serialize;
@@ -186,7 +187,29 @@ fn measure_pair(
     results.append(&mut pair);
 }
 
+const HELP: &str = "\
+transport_bench — channel vs TCP loopback throughput sweep (DESIGN.md §7)
+
+USAGE: transport_bench [FLAGS]
+
+FLAGS:
+    --tiny          CI smoke: smallest presets, 3 steps, 1 trial
+    --paper         add the paper-shaped cluster (6+18) and paper-scale
+                    saturation point (d ≈ 1.75M)
+    --steps N       protocol steps per run (default: 10, tiny: 3)
+    --trials N      trials per point, fingerprints must agree (default: 2,
+                    tiny: 1)
+    --only SUBSTR   run only sweep points whose label contains SUBSTR
+                    (applies to the preset AND the saturation sweep)
+    --help          print this help and exit
+
+Writes results/transport_bench.json.";
+
 fn main() {
+    if flag("help") {
+        println!("{HELP}");
+        return;
+    }
     let tiny = flag("tiny");
     let paper = flag("paper");
     let steps: u64 = arg("steps", if tiny { 3 } else { 10 });
@@ -224,7 +247,7 @@ fn main() {
         ));
     }
     for (scale, cluster, filters) in presets {
-        if !scale.contains(&only) {
+        if !selected(scale, &only) {
             continue;
         }
         let builder = move |rng: &mut TensorRng| models::small_cnn(8, filters, 10, rng);
@@ -255,7 +278,7 @@ fn main() {
         widths.push(("sat d≈1.75M", 8640, 4));
     }
     for (scale, hidden, sat_steps) in widths {
-        if !scale.contains(&only) {
+        if !selected(scale, &only) {
             continue;
         }
         let builder = move |rng: &mut TensorRng| wide_mlp(hidden, rng);

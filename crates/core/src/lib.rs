@@ -62,6 +62,7 @@ pub mod faults;
 pub mod lockstep;
 pub mod metrics;
 pub mod protocol;
+pub mod shard;
 pub mod trace;
 
 pub use config::ClusterConfig;

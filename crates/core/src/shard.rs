@@ -1,0 +1,276 @@
+//! Shard plans for the sharded gradient plane (DESIGN.md §9).
+//!
+//! A [`ShardPlan`] partitions the `d` model coordinates into contiguous
+//! ranges, one per server group: group `g` runs the full ByzSGD protocol on
+//! coordinates `plan.range(g)` and nothing else. Coordinate-wise GARs
+//! (median, trimmed mean, MeaMed, averaging) commute with this partition,
+//! so a sharded run is bit-identical to the unsharded one.
+//!
+//! [`ShardGather`] is the workers' per-shard quorum ledger: a step is
+//! actionable only once *every* shard group has delivered its quorum of
+//! per-range payloads, mirroring the single-map bookkeeping the unsharded
+//! worker kept per step.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GuanYuError;
+use crate::Result;
+
+/// A partition of `d` coordinates into contiguous per-group ranges.
+///
+/// Stored as the exclusive upper bounds of each range (strictly increasing,
+/// ending at `d`), so `range(g)` is `bounds[g-1]..bounds[g]` with an implied
+/// leading 0.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    d: usize,
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Splits `d` coordinates as evenly as possible into `shards` ranges:
+    /// the first `d % shards` ranges get one extra coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuanYuError::InvalidConfig`] when `shards` is zero or
+    /// exceeds `d` (a group owning zero coordinates would run the protocol
+    /// on empty vectors).
+    pub fn even(d: usize, shards: usize) -> Result<Self> {
+        if shards == 0 {
+            return Err(GuanYuError::InvalidConfig(
+                "shard plan needs at least one shard".into(),
+            ));
+        }
+        if shards > d {
+            return Err(GuanYuError::InvalidConfig(format!(
+                "cannot split {d} coordinates into {shards} non-empty shards"
+            )));
+        }
+        let base = d / shards;
+        let extra = d % shards;
+        let mut bounds = Vec::with_capacity(shards);
+        let mut end = 0;
+        for g in 0..shards {
+            end += base + usize::from(g < extra);
+            bounds.push(end);
+        }
+        Ok(ShardPlan { d, bounds })
+    }
+
+    /// Builds a plan from explicit exclusive upper bounds (uneven ranges
+    /// allowed; bounds must be strictly increasing and end at `d`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuanYuError::InvalidConfig`] for empty bounds, a
+    /// non-increasing sequence (which would create an empty range), or a
+    /// last bound that does not equal `d`.
+    pub fn from_bounds(d: usize, bounds: Vec<usize>) -> Result<Self> {
+        if bounds.is_empty() {
+            return Err(GuanYuError::InvalidConfig(
+                "shard plan needs at least one bound".into(),
+            ));
+        }
+        let mut prev = 0;
+        for &b in &bounds {
+            if b <= prev {
+                return Err(GuanYuError::InvalidConfig(format!(
+                    "shard bounds must be strictly increasing from 0: {b} after {prev}"
+                )));
+            }
+            prev = b;
+        }
+        if prev != d {
+            return Err(GuanYuError::InvalidConfig(format!(
+                "shard bounds end at {prev}, expected the full dimension {d}"
+            )));
+        }
+        Ok(ShardPlan { d, bounds })
+    }
+
+    /// Number of shards in the plan.
+    pub fn shards(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Total coordinate count covered by the plan.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The coordinate range owned by group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `g >= self.shards()`.
+    pub fn range(&self, g: usize) -> Range<usize> {
+        let start = if g == 0 { 0 } else { self.bounds[g - 1] };
+        start..self.bounds[g]
+    }
+
+    /// All ranges, in group order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.shards()).map(|g| self.range(g))
+    }
+}
+
+/// Per-step, per-shard quorum ledger for the gather side of scatter/gather.
+///
+/// `T` is the payload type (the runtime stores decoded per-range model
+/// tensors). A step is *complete* once every shard index has accumulated at
+/// least `quorum` payloads; until then nothing is handed out, so partial
+/// gathers can never fold.
+#[derive(Debug)]
+pub struct ShardGather<T> {
+    shards: usize,
+    quorum: usize,
+    pending: HashMap<u64, Vec<Vec<(usize, T)>>>,
+}
+
+impl<T> ShardGather<T> {
+    /// A ledger expecting `quorum` payloads for each of `shards` groups per
+    /// step.
+    pub fn new(shards: usize, quorum: usize) -> Self {
+        ShardGather {
+            shards,
+            quorum,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Records `payload` from `sender` for `(step, shard)`. Out-of-range
+    /// shard indices are ignored (a Byzantine sender cannot grow the
+    /// ledger).
+    pub fn insert(&mut self, step: u64, shard: usize, sender: usize, payload: T) {
+        if shard >= self.shards {
+            return;
+        }
+        let slots = self
+            .pending
+            .entry(step)
+            .or_insert_with(|| (0..self.shards).map(|_| Vec::new()).collect());
+        slots[shard].push((sender, payload));
+    }
+
+    /// Whether every shard has reached its quorum at `step`.
+    pub fn is_complete(&self, step: u64) -> bool {
+        self.pending
+            .get(&step)
+            .is_some_and(|slots| slots.iter().all(|s| s.len() >= self.quorum))
+    }
+
+    /// Removes and returns `step`'s per-shard `(sender, payload)` lists —
+    /// only once the step is complete (returns `None` otherwise, leaving
+    /// the ledger untouched).
+    pub fn take(&mut self, step: u64) -> Option<Vec<Vec<(usize, T)>>> {
+        if !self.is_complete(step) {
+            return None;
+        }
+        self.pending.remove(&step)
+    }
+
+    /// The newest complete step strictly greater than `after`, if any —
+    /// the recovery fast-forward target.
+    pub fn newest_complete(&self, after: u64) -> Option<u64> {
+        self.pending
+            .keys()
+            .copied()
+            .filter(|&s| s > after && self.is_complete(s))
+            .max()
+    }
+
+    /// Drops every step strictly below `step` (already-folded history).
+    pub fn retain_from(&mut self, step: u64) {
+        self.pending.retain(|&s, _| s >= step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_plan_spreads_remainder_over_first_shards() {
+        let plan = ShardPlan::even(10, 4).unwrap();
+        let ranges: Vec<_> = plan.ranges().collect();
+        assert_eq!(ranges, vec![0..3, 3..6, 6..8, 8..10]);
+        assert_eq!(plan.shards(), 4);
+        assert_eq!(plan.d(), 10);
+    }
+
+    #[test]
+    fn single_shard_covers_everything() {
+        let plan = ShardPlan::even(7, 1).unwrap();
+        assert_eq!(plan.range(0), 0..7);
+    }
+
+    #[test]
+    fn degenerate_plans_are_rejected() {
+        assert!(matches!(
+            ShardPlan::even(5, 0),
+            Err(GuanYuError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ShardPlan::even(3, 4),
+            Err(GuanYuError::InvalidConfig(_))
+        ));
+        assert!(ShardPlan::even(0, 1).is_err());
+    }
+
+    #[test]
+    fn explicit_bounds_validate() {
+        let plan = ShardPlan::from_bounds(10, vec![1, 9, 10]).unwrap();
+        assert_eq!(plan.ranges().collect::<Vec<_>>(), vec![0..1, 1..9, 9..10]);
+        assert!(ShardPlan::from_bounds(10, vec![]).is_err());
+        assert!(ShardPlan::from_bounds(10, vec![3, 3, 10]).is_err());
+        assert!(ShardPlan::from_bounds(10, vec![3, 9]).is_err());
+    }
+
+    #[test]
+    fn plan_serialises_round_trip() {
+        let plan = ShardPlan::even(11, 3).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: ShardPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn gather_completes_only_when_all_shards_are_quorate() {
+        let mut g: ShardGather<u32> = ShardGather::new(2, 2);
+        g.insert(0, 0, 10, 1);
+        g.insert(0, 0, 11, 2);
+        assert!(!g.is_complete(0));
+        assert!(g.take(0).is_none());
+        g.insert(0, 1, 10, 3);
+        g.insert(0, 1, 12, 4);
+        assert!(g.is_complete(0));
+        let slots = g.take(0).unwrap();
+        assert_eq!(slots[0], vec![(10, 1), (11, 2)]);
+        assert_eq!(slots[1], vec![(10, 3), (12, 4)]);
+        assert!(g.take(0).is_none(), "take removes the step");
+    }
+
+    #[test]
+    fn gather_ignores_out_of_range_shards() {
+        let mut g: ShardGather<u32> = ShardGather::new(1, 1);
+        g.insert(0, 5, 9, 1);
+        assert!(!g.is_complete(0));
+    }
+
+    #[test]
+    fn newest_complete_and_retain() {
+        let mut g: ShardGather<u32> = ShardGather::new(1, 1);
+        g.insert(3, 0, 0, 1);
+        g.insert(7, 0, 0, 2);
+        g.insert(9, 0, 0, 3);
+        assert_eq!(g.newest_complete(3), Some(9));
+        assert_eq!(g.newest_complete(9), None);
+        g.retain_from(7);
+        assert!(g.take(3).is_none());
+        assert!(g.take(7).is_some());
+    }
+}

@@ -74,6 +74,27 @@ pub fn tensor_digest(t: &Tensor) -> u64 {
     h.finish()
 }
 
+/// Position-mixed vector digest that **composes across shards**: each
+/// coordinate hashes its global index together with its bit pattern into an
+/// independent FNV-1a word, and the words are XOR-folded. Because XOR is
+/// associative and commutative,
+/// `positional_digest(0, full) == ⊕ positional_digest(range.start, slice)`
+/// over any tiling of `full` — a sharded run's per-group digests combine
+/// into exactly the digest an unsharded replica would log (DESIGN.md §9).
+/// Like [`tensor_digest`] it is single-ULP-sensitive, and the index mixing
+/// keeps it order-sensitive despite the commutative fold (equal values at
+/// swapped positions hash differently).
+pub fn positional_digest(offset: usize, data: &[f32]) -> u64 {
+    let mut acc = 0u64;
+    for (i, &x) in data.iter().enumerate() {
+        let mut h = DigestHasher::new();
+        h.write_u64((offset + i) as u64);
+        h.write_u64(u64::from(x.to_bits()));
+        acc ^= h.finish();
+    }
+    acc
+}
+
 /// One completed protocol round, digested.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoundDigest {
@@ -149,6 +170,31 @@ mod tests {
         let z0 = Tensor::from_flat(vec![0.0]);
         let z1 = Tensor::from_flat(vec![-0.0]);
         assert_ne!(tensor_digest(&z0), tensor_digest(&z1));
+    }
+
+    #[test]
+    fn positional_digest_composes_over_any_tiling() {
+        let full: Vec<f32> = (0..37).map(|i| (i as f32).sin()).collect();
+        let whole = positional_digest(0, &full);
+        for splits in [vec![0, 37], vec![0, 1, 2, 37], vec![0, 12, 24, 30, 37]] {
+            let mut acc = 0u64;
+            for w in splits.windows(2) {
+                acc ^= positional_digest(w[0], &full[w[0]..w[1]]);
+            }
+            assert_eq!(acc, whole, "tiling {splits:?} must recompose");
+        }
+    }
+
+    #[test]
+    fn positional_digest_is_position_and_ulp_sensitive() {
+        let a = positional_digest(0, &[1.0, 2.0]);
+        let swapped = positional_digest(0, &[2.0, 1.0]);
+        assert_ne!(a, swapped, "equal multiset, different order");
+        let nudged = positional_digest(0, &[1.0, 2.0000002]);
+        assert_ne!(a, nudged);
+        let shifted = positional_digest(1, &[1.0, 2.0]);
+        assert_ne!(a, shifted, "same slice at a different offset");
+        assert_eq!(positional_digest(5, &[]), 0);
     }
 
     #[test]

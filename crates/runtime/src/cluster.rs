@@ -7,15 +7,18 @@ use std::sync::Arc;
 use crate::soak::SoakCounters;
 use std::time::{Duration, Instant};
 
+use aggregation::kernel::{self, Exec};
 use aggregation::{CoordinateWiseMedian, Gar, GarKind};
 use byzantine::{Attack, AttackKind, AttackView};
 use data::{Batcher, Dataset};
 use guanyu::config::ClusterConfig;
-use guanyu::trace::{tensor_digest, DigestHasher, RoundDigest, Trace};
+use guanyu::shard::{ShardGather, ShardPlan};
+use guanyu::trace::{positional_digest, DigestHasher, RoundDigest, Trace};
 use guanyu::GuanYuError;
 use nn::{softmax_cross_entropy, LrSchedule, Sequential};
 use tensor::{Tensor, TensorRng};
 
+use crate::pool::PoolStats;
 use crate::tcp::TcpTransport;
 use crate::transport::{ChannelTransport, RecvError, Transport};
 use crate::wire::{decode, WireMsg};
@@ -64,6 +67,15 @@ pub struct RuntimeConfig {
     pub wall_timeout: Duration,
     /// The interconnect the frames travel over.
     pub transport: TransportKind,
+    /// Shard groups of the gradient plane (DESIGN.md §9). With `k` shards
+    /// the parameter vector is split into `k` contiguous ranges and the
+    /// server plane into `k` groups of `cluster.servers` replicas each:
+    /// group `g` occupies raw node ids `g*servers..(g+1)*servers` and owns
+    /// only range `g`. Workers scatter per-range gradient slices and
+    /// gather per-range model slices; at full quorums a sharded run is
+    /// bit-identical (trace and final parameters) to the unsharded one.
+    /// `1` is the classic unsharded plane.
+    pub shards: usize,
     /// Worker fast-forward recovery: a worker whose current step can no
     /// longer fill its model quorum (frames lost to churn or crashes)
     /// jumps to the newest step that *is* fully quorate instead of
@@ -86,6 +98,7 @@ impl RuntimeConfig {
             worker_attack: None,
             wall_timeout: Duration::from_secs(60),
             transport: TransportKind::Channel,
+            shards: 1,
             recovery: false,
         }
     }
@@ -136,6 +149,10 @@ pub struct ClusterReport {
     /// ([`Transport::link_failures`]). Always 0 on the channel plane and
     /// on clean TCP runs.
     pub link_failures: u64,
+    /// Mesh-shared frame-pool counters ([`PoolStats`]): every endpoint
+    /// snapshots the same pool at shutdown, so the report keeps the
+    /// latest (field-wise largest) snapshot rather than a sum.
+    pub pool: PoolStats,
 }
 
 /// One server's per-round record, kept locally (no cross-thread
@@ -148,7 +165,9 @@ struct ServerLog {
 
 #[derive(Debug, Clone)]
 struct ServerRound {
-    /// FNV-1a digest of this server's parameters after the round.
+    /// Positional digest of this server's (shard of the) parameters after
+    /// the round, keyed by absolute coordinate index so per-shard digests
+    /// XOR together into exactly the full-vector digest.
     model_digest: u64,
     /// Gradient-quorum senders, canonical (sorted) order.
     grad_quorum: Vec<usize>,
@@ -156,25 +175,53 @@ struct ServerRound {
     exch_quorum: Vec<usize>,
 }
 
-/// Folds per-server round logs into one [`Trace`]: round `r`'s digest
-/// covers every server's model hash (server order), every quorum
-/// composition, and the number of messages folded. The format matches the
-/// deterministic engines' *shape* but not their physics — compare
-/// threaded traces only with threaded traces (channel vs TCP), as
+/// Folds per-server round logs into one [`Trace`] over *logical replicas*:
+/// round `r`'s digest covers, for each of the `replicas` logical servers,
+/// the XOR of its shard groups' positional model digests (== the digest of
+/// the merged full vector), the quorum compositions translated from raw
+/// node ids back to logical ids, and the number of messages folded. When
+/// every shard group of a replica saw the same translated quorums (always
+/// true at full quorums) the composition is recorded once — so a sharded
+/// run's trace is byte-identical to the unsharded run's. The format
+/// matches the deterministic engines' *shape* but not their physics —
+/// compare threaded traces only with threaded traces (channel vs TCP), as
 /// DESIGN.md §6 prescribes for cross-engine fingerprints.
-fn assemble_trace(logs: &[ServerLog]) -> Trace {
+fn assemble_trace(logs: &[ServerLog], shards: usize, replicas: usize) -> Trace {
     let mut trace = Trace::new();
     let rounds = logs.iter().map(|l| l.rounds.len()).min().unwrap_or(0);
+    let plane = shards * replicas;
+    // Raw wire id -> logical id: server `g*n + r` is replica `r`, worker
+    // `plane + j` is logical `n + j`.
+    let translate = |raw: usize| {
+        if raw < plane {
+            raw % replicas
+        } else {
+            replicas + (raw - plane)
+        }
+    };
     for step in 0..rounds {
         let mut model = DigestHasher::new();
         let mut quorum = DigestHasher::new();
         let mut messages = 0u64;
-        for log in logs {
-            let r = &log.rounds[step];
-            model.write_u64(r.model_digest);
-            quorum.write_indices(&r.grad_quorum);
-            quorum.write_indices(&r.exch_quorum);
-            messages += (r.grad_quorum.len() + r.exch_quorum.len()) as u64;
+        for r in 0..replicas {
+            let mut digest = 0u64;
+            let mut groups: Vec<(Vec<usize>, Vec<usize>)> = Vec::with_capacity(shards);
+            for g in 0..shards {
+                let round = &logs[g * replicas + r].rounds[step];
+                digest ^= round.model_digest;
+                groups.push((
+                    round.grad_quorum.iter().map(|&x| translate(x)).collect(),
+                    round.exch_quorum.iter().map(|&x| translate(x)).collect(),
+                ));
+            }
+            model.write_u64(digest);
+            let collapsed = groups.iter().all(|pair| pair == &groups[0]);
+            let record = if collapsed { &groups[..1] } else { &groups[..] };
+            for (grad, exch) in record {
+                quorum.write_indices(grad);
+                quorum.write_indices(exch);
+                messages += (grad.len() + exch.len()) as u64;
+            }
         }
         trace.push(RoundDigest {
             step: step as u64,
@@ -193,6 +240,7 @@ const POLL: Duration = Duration::from_millis(20);
 struct NetStats {
     dropped: u64,
     link_failures: u64,
+    pool: PoolStats,
 }
 
 impl NetStats {
@@ -200,8 +248,18 @@ impl NetStats {
         NetStats {
             dropped: net.dropped_sends(),
             link_failures: net.link_failures(),
+            pool: net.pool_stats(),
         }
     }
+}
+
+/// Every endpoint snapshots the *same* mesh-shared pool at its own
+/// shutdown instant; the latest snapshot has the largest (monotonic)
+/// counters, so a field-wise max keeps it without double counting.
+fn fold_pool(acc: &mut PoolStats, snap: PoolStats) {
+    acc.fresh = acc.fresh.max(snap.fresh);
+    acc.recycled = acc.recycled.max(snap.recycled);
+    acc.high_water = acc.high_water.max(snap.high_water);
 }
 
 /// Announces a server's model to the workers. The tensor clone is a
@@ -227,9 +285,13 @@ fn canonical_quorum(mut received: Vec<(usize, Tensor)>, q: usize) -> (Vec<usize>
     received.into_iter().unzip()
 }
 
+#[allow(clippy::too_many_arguments)] // one thread entry point, not an API
 fn server_thread(
     cfg: RuntimeConfig,
     theta0: Tensor,
+    shard_offset: usize,
+    worker_ids: Vec<usize>,
+    peer_servers: Vec<usize>,
     mut net: Box<dyn Transport>,
     done: Arc<AtomicBool>,
     gar: Box<dyn Gar>,
@@ -245,10 +307,6 @@ fn server_thread(
     let mut exchanging = false;
     let mut round_grad_quorum: Vec<usize> = Vec::new();
     let mut log = ServerLog::default();
-    let servers = cfg.cluster.servers;
-    let workers = cfg.cluster.workers;
-    let worker_ids: Vec<usize> = (servers..servers + workers).collect();
-    let peer_servers: Vec<usize> = (0..servers).filter(|&s| s != me).collect();
     broadcast_model(net.as_mut(), &worker_ids, 0, &params);
     loop {
         if done.load(Ordering::Relaxed) {
@@ -286,7 +344,7 @@ fn server_thread(
                 if let Ok(agg) = gar.aggregate(&received) {
                     let lr = cfg.lr.at(step);
                     params.axpy(-lr, &agg).expect("fixed dims");
-                    if servers > 1 {
+                    if !peer_servers.is_empty() {
                         exchanging = true;
                         round_grad_quorum = senders;
                         exchanges
@@ -300,7 +358,7 @@ fn server_thread(
                         net.broadcast(&peer_servers, &msg);
                     } else {
                         log.rounds.push(ServerRound {
-                            model_digest: tensor_digest(&params),
+                            model_digest: positional_digest(shard_offset, params.as_slice()),
                             grad_quorum: senders,
                             exch_quorum: Vec::new(),
                         });
@@ -326,7 +384,7 @@ fn server_thread(
                 }
                 exchanging = false;
                 log.rounds.push(ServerRound {
-                    model_digest: tensor_digest(&params),
+                    model_digest: positional_digest(shard_offset, params.as_slice()),
                     grad_quorum: std::mem::take(&mut round_grad_quorum),
                     exch_quorum: senders,
                 });
@@ -348,8 +406,10 @@ fn server_thread(
     (params, log, stats)
 }
 
+#[allow(clippy::too_many_arguments)] // one thread entry point, not an API
 fn worker_thread(
     cfg: RuntimeConfig,
+    plan: ShardPlan,
     mut model: Sequential,
     mut batcher: Batcher,
     train: Arc<Dataset>,
@@ -357,12 +417,16 @@ fn worker_thread(
     done: Arc<AtomicBool>,
     counters: Arc<SoakCounters>,
 ) -> NetStats {
-    use std::collections::HashMap;
-    let median = CoordinateWiseMedian::new();
     let mut step = 0u64;
-    let mut models: HashMap<u64, Vec<(usize, Tensor)>> = HashMap::new();
     let q = cfg.cluster.server_quorum;
-    let server_ids: Vec<usize> = (0..cfg.cluster.servers).collect();
+    let n = cfg.cluster.servers;
+    let shards = plan.shards();
+    let plane = shards * n;
+    // Shard group `g`'s server replicas, in raw-id (== replica) order.
+    let group_targets: Vec<Vec<usize>> = (0..shards)
+        .map(|g| (g * n..(g + 1) * n).collect())
+        .collect();
+    let mut gather = ShardGather::<Tensor>::new(shards, q);
     'run: loop {
         if done.load(Ordering::Relaxed) {
             break;
@@ -373,32 +437,41 @@ fn worker_thread(
             Err(RecvError::Closed) => break,
         };
         if let Ok(WireMsg::Model { step: s, params }) = decode(&frame.payload) {
-            if s >= step && params.is_finite() {
-                models.entry(s).or_default().push((frame.from, params));
+            // A model slice is accepted only from a server raw id and only
+            // at its shard group's exact width — anything else is
+            // necessarily Byzantine (or stale) and dropped.
+            if s >= step && frame.from < plane && params.is_finite() {
+                let g = frame.from / n;
+                if params.len() == plan.range(g).len() {
+                    gather.insert(s, g, frame.from, params);
+                }
             }
         }
         // Recovery fast-forward: only when the *current* step can no
         // longer fill (its frames were cut by churn) — a completable step
-        // is never skipped, so on a lossless run this never fires.
-        if cfg.recovery && models.get(&step).is_none_or(|v| v.len() < q) {
-            if let Some(newest) = models
-                .iter()
-                .filter(|&(&s, v)| s > step && v.len() >= q)
-                .map(|(&s, _)| s)
-                .max()
-            {
+        // is never skipped, so on a lossless run this never fires. A step
+        // counts as completable only when *every* shard group is quorate.
+        if cfg.recovery && !gather.is_complete(step) {
+            if let Some(newest) = gather.newest_complete(step) {
                 step = newest;
-                models.retain(|&s, _| s >= step);
+                gather.retain_from(step);
                 counters.recoveries.fetch_add(1, Ordering::Relaxed);
             }
         }
-        while models.get(&step).is_some_and(|v| v.len() >= q) {
-            let (_, received) = canonical_quorum(models.remove(&step).expect("checked"), q);
-            let folded = match median.aggregate(&received) {
-                Ok(f) => f,
-                Err(_) => break 'run,
-            };
-            if model.set_param_vector(&folded).is_err() {
+        while let Some(per_shard) = gather.take(step) {
+            // Per-shard median folds write disjoint ranges of one output
+            // vector; coordinate-wise rules tile, so the result is
+            // bit-identical to the unsharded full-vector fold.
+            let mut out = vec![0.0f32; plan.d()];
+            for (g, received) in per_shard.into_iter().enumerate() {
+                let (_, tensors) = canonical_quorum(received, q);
+                kernel::median_into(
+                    Exec::auto(),
+                    &kernel::views(&tensors),
+                    &mut out[plan.range(g)],
+                );
+            }
+            if model.set_param_vector(&Tensor::from_flat(out)).is_err() {
                 break 'run;
             }
             model.zero_grads();
@@ -412,9 +485,14 @@ fn worker_thread(
                 Some(g) => g,
                 None => break 'run,
             };
-            net.broadcast(&server_ids, &WireMsg::Gradient { step, grad });
+            // Scatter: each shard group receives one frame carrying only
+            // its range, encoded straight off the full gradient's buffer.
+            let msg = WireMsg::Gradient { step, grad };
+            for (g, targets) in group_targets.iter().enumerate() {
+                net.broadcast_range(targets, &msg, plan.range(g));
+            }
             step += 1;
-            models.retain(|&s, _| s >= step);
+            gather.retain_from(step);
         }
     }
     net.shutdown();
@@ -427,9 +505,12 @@ fn byzantine_worker_thread(
     mut net: Box<dyn Transport>,
     done: Arc<AtomicBool>,
 ) -> NetStats {
-    use std::collections::HashMap;
-    let mut observed: HashMap<u64, Vec<Tensor>> = HashMap::new();
-    let mut forged: HashMap<u64, bool> = HashMap::new();
+    use std::collections::{HashMap, HashSet};
+    let n = cfg.cluster.servers;
+    // Forgery is per (step, shard group): each group sees only its own
+    // parameter range, so the attack observes and forges slices.
+    let mut observed: HashMap<(u64, usize), Vec<Tensor>> = HashMap::new();
+    let mut forged: HashSet<(u64, usize)> = HashSet::new();
     loop {
         if done.load(Ordering::Relaxed) {
             break;
@@ -440,19 +521,20 @@ fn byzantine_worker_thread(
             Err(RecvError::Closed) => break,
         };
         if let Ok(WireMsg::Model { step, params }) = decode(&frame.payload) {
-            observed.entry(step).or_default().push(params);
-            if forged.contains_key(&step) {
+            let group = frame.from / n;
+            observed.entry((step, group)).or_default().push(params);
+            if !forged.insert((step, group)) {
                 continue;
             }
-            forged.insert(step, true);
-            let honest = observed[&step].clone();
-            for (r, s) in (0..cfg.cluster.servers).enumerate() {
+            let honest = observed[&(step, group)].clone();
+            for r in 0..n {
                 let view = AttackView::new(&honest, step, r);
                 if let Some(g) = attack.forge(&view) {
-                    net.send(s, &WireMsg::Gradient { step, grad: g });
+                    net.send(group * n + r, &WireMsg::Gradient { step, grad: g });
                 }
             }
-            observed.retain(|&s, _| s + 2 >= step);
+            observed.retain(|&(s, _), _| s + 2 >= step);
+            forged.retain(|&(s, _)| s + 2 >= step);
         }
     }
     net.shutdown();
@@ -460,19 +542,29 @@ fn byzantine_worker_thread(
 }
 
 /// Builds one endpoint per node on the configured interconnect. The TCP
-/// mesh skips worker↔worker links — the protocol never uses them, and at
-/// paper scale that halves the socket/thread count.
+/// mesh links only what the protocol uses: servers within one shard group
+/// exchange with each other, workers talk to every server, and shard
+/// groups never talk across — so at `k` shards the inter-server link count
+/// drops by ~`k×` on top of the worker↔worker links already skipped.
 fn build_endpoints(cfg: &RuntimeConfig) -> Result<Vec<Box<dyn Transport>>, GuanYuError> {
-    let total = cfg.cluster.servers + cfg.cluster.workers;
-    let servers = cfg.cluster.servers;
+    let n = cfg.cluster.servers;
+    let plane = cfg.shards.max(1) * n;
+    let total = plane + cfg.cluster.workers;
     match cfg.transport {
         TransportKind::Channel => Ok(ChannelTransport::mesh(total)
             .into_iter()
             .map(|t| Box::new(t) as Box<dyn Transport>)
             .collect()),
         TransportKind::TcpLoopback => {
-            let mesh = TcpTransport::mesh(total, |a, b| a < servers || b < servers)
-                .map_err(|e| GuanYuError::Transport(format!("tcp mesh: {e}")))?;
+            let mesh = TcpTransport::mesh(total, move |a, b| {
+                let (sa, sb) = (a < plane, b < plane);
+                if sa && sb {
+                    a / n == b / n // same shard group exchanges models
+                } else {
+                    sa || sb // worker ↔ server; never worker ↔ worker
+                }
+            })
+            .map_err(|e| GuanYuError::Transport(format!("tcp mesh: {e}")))?;
             Ok(mesh
                 .into_iter()
                 .map(|t| Box::new(t) as Box<dyn Transport>)
@@ -527,6 +619,11 @@ pub fn run_cluster_with(
     let mut rng = TensorRng::new(cfg.seed);
     let mut init_rng = rng.fork(0xA11);
     let theta0 = model_builder(&mut init_rng).param_vector();
+    let plan = ShardPlan::even(theta0.len(), cfg.shards)
+        .map_err(|e| GuanYuError::InvalidConfig(format!("shard plan: {e}")))?;
+    let shards = plan.shards();
+    let n = cfg.cluster.servers;
+    let plane = shards * n;
 
     let mut endpoints = build_endpoints(cfg)?.into_iter();
     let done = Arc::new(AtomicBool::new(false));
@@ -537,25 +634,49 @@ pub fn run_cluster_with(
     };
 
     let start = Instant::now();
+    let worker_ids: Vec<usize> = (plane..plane + cfg.cluster.workers).collect();
     let mut server_handles = Vec::new();
-    for s in 0..cfg.cluster.servers {
-        let net = decorate(s, endpoints.next().expect("one endpoint per node"));
-        let gar = cfg
-            .server_gar
-            .build(cfg.cluster.krum_f())
-            .map_err(|e| GuanYuError::InvalidConfig(e.to_string()))?;
-        let cfg = cfg.clone();
-        let theta0 = theta0.clone();
-        let done = Arc::clone(&done);
-        let counters = Arc::clone(&hooks.counters);
-        server_handles.push(std::thread::spawn(move || {
-            server_thread(cfg, theta0, net, done, gar, counters)
-        }));
+    for g in 0..shards {
+        let range = plan.range(g);
+        // Zero-copy view of the group's slice of θ₀, materialised once per
+        // group and refcount-cloned to its replicas.
+        let theta_g = theta0
+            .shard_view(range.clone())
+            .expect("plan ranges are in bounds")
+            .to_tensor();
+        for r in 0..n {
+            let id = g * n + r;
+            let net = decorate(id, endpoints.next().expect("one endpoint per node"));
+            let gar = cfg
+                .server_gar
+                .build(cfg.cluster.krum_f())
+                .map_err(|e| GuanYuError::InvalidConfig(e.to_string()))?;
+            let cfg = cfg.clone();
+            let theta_g = theta_g.clone();
+            let worker_ids = worker_ids.clone();
+            let peer_servers: Vec<usize> = (g * n..(g + 1) * n).filter(|&p| p != id).collect();
+            let offset = range.start;
+            let done = Arc::clone(&done);
+            let counters = Arc::clone(&hooks.counters);
+            server_handles.push(std::thread::spawn(move || {
+                server_thread(
+                    cfg,
+                    theta_g,
+                    offset,
+                    worker_ids,
+                    peer_servers,
+                    net,
+                    done,
+                    gar,
+                    counters,
+                )
+            }));
+        }
     }
     let honest_workers = cfg.cluster.workers - cfg.actual_byz_workers;
     let mut worker_handles = Vec::new();
     for w in 0..cfg.cluster.workers {
-        let id = cfg.cluster.servers + w;
+        let id = plane + w;
         let net = decorate(id, endpoints.next().expect("one endpoint per node"));
         let cfg_c = cfg.clone();
         let done = Arc::clone(&done);
@@ -565,8 +686,9 @@ pub fn run_cluster_with(
             let batcher = Batcher::new(train.len(), cfg.batch_size, cfg.seed ^ (w as u64) << 17);
             let train = Arc::clone(&train);
             let counters = Arc::clone(&hooks.counters);
+            let plan_c = plan.clone();
             worker_handles.push(std::thread::spawn(move || {
-                worker_thread(cfg_c, model, batcher, train, net, done, counters)
+                worker_thread(cfg_c, plan_c, model, batcher, train, net, done, counters)
             }));
         } else {
             let attack = cfg
@@ -581,19 +703,21 @@ pub fn run_cluster_with(
 
     // Join servers with a wall timeout (a stalled Byzantine-heavy run must
     // not hang the caller).
-    let mut final_params = Vec::with_capacity(server_handles.len());
+    let mut raw_params = Vec::with_capacity(server_handles.len());
     let mut server_logs = Vec::with_capacity(server_handles.len());
     let mut dropped_sends = 0u64;
     let mut link_failures = 0u64;
+    let mut pool = PoolStats::default();
     let mut timed_out = false;
     for h in server_handles {
         loop {
             if h.is_finished() {
                 let (params, log, stats) = h.join().expect("server thread panicked");
-                final_params.push(params);
+                raw_params.push(params);
                 server_logs.push(log);
                 dropped_sends += stats.dropped;
                 link_failures += stats.link_failures;
+                fold_pool(&mut pool, stats.pool);
                 break;
             }
             if timed_out || start.elapsed() > cfg.wall_timeout {
@@ -610,6 +734,7 @@ pub fn run_cluster_with(
         if let Ok(stats) = h.join() {
             dropped_sends += stats.dropped;
             link_failures += stats.link_failures;
+            fold_pool(&mut pool, stats.pool);
         }
     }
     hooks
@@ -623,14 +748,29 @@ pub fn run_cluster_with(
         )));
     }
 
-    let updates = cfg.max_steps * cfg.cluster.servers as u64;
+    // Logical replica `r`'s full parameter vector is the concatenation of
+    // its shard groups' slices (raw ids r, n+r, 2n+r, …).
+    let mut final_params = Vec::with_capacity(n);
+    for r in 0..n {
+        if shards == 1 {
+            final_params.push(raw_params[r].clone());
+        } else {
+            let mut flat = Vec::with_capacity(plan.d());
+            for g in 0..shards {
+                flat.extend_from_slice(raw_params[g * n + r].as_slice());
+            }
+            final_params.push(Tensor::from_flat(flat));
+        }
+    }
+    let updates = cfg.max_steps * n as u64;
     Ok(ClusterReport {
         final_params,
         updates,
         wall_secs: start.elapsed().as_secs_f64(),
-        trace: assemble_trace(&server_logs),
+        trace: assemble_trace(&server_logs, shards, n),
         dropped_sends,
         link_failures,
+        pool,
     })
 }
 
@@ -747,5 +887,65 @@ mod tests {
             report.link_failures, 0,
             "clean full-quorum run must not sever links"
         );
+        assert!(
+            report.pool.fresh > 0 && report.pool.high_water > 0,
+            "pool counters must surface in the report: {:?}",
+            report.pool
+        );
+    }
+
+    #[test]
+    fn sharded_run_matches_unsharded_bit_for_bit() {
+        // Full quorums + a coordinate-wise GAR: sharding must change
+        // nothing observable — same trace, same final parameters.
+        let base = RuntimeConfig {
+            cluster: ClusterConfig::with_quorums(3, 0, 4, 0, 3, 4).unwrap(),
+            server_gar: GarKind::Median,
+            max_steps: 3,
+            ..RuntimeConfig::default_for_tests()
+        };
+        let flat = run_cluster(&base, builder, train_data()).unwrap();
+        let sharded_cfg = RuntimeConfig {
+            shards: 2,
+            ..base.clone()
+        };
+        let sharded = run_cluster(&sharded_cfg, builder, train_data()).unwrap();
+        assert_eq!(flat.trace, sharded.trace, "traces must be identical");
+        assert_eq!(
+            flat.trace.fingerprint(),
+            sharded.trace.fingerprint(),
+            "fingerprints must be identical"
+        );
+        assert_eq!(flat.final_params.len(), sharded.final_params.len());
+        for (a, b) in flat.final_params.iter().zip(&sharded.final_params) {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "merged sharded parameters must be bit-identical"
+            );
+        }
+        assert_eq!(sharded.updates, flat.updates, "logical replica updates");
+        assert_eq!(sharded.dropped_sends, 0);
+        assert_eq!(sharded.link_failures, 0);
+    }
+
+    #[test]
+    fn rejects_zero_shards() {
+        let cfg = RuntimeConfig {
+            shards: 0,
+            ..RuntimeConfig::default_for_tests()
+        };
+        let err = run_cluster(&cfg, builder, train_data()).unwrap_err();
+        assert!(err.to_string().contains("shard"), "{err}");
+    }
+
+    #[test]
+    fn rejects_more_shards_than_coordinates() {
+        let cfg = RuntimeConfig {
+            shards: 100_000_000,
+            ..RuntimeConfig::default_for_tests()
+        };
+        let err = run_cluster(&cfg, builder, train_data()).unwrap_err();
+        assert!(err.to_string().contains("shard"), "{err}");
     }
 }

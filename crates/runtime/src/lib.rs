@@ -23,6 +23,13 @@
 //! [`guanyu::trace::Trace`] digests, the cross-transport consistency
 //! contract `tests/engines_consistency.rs` pins.
 //!
+//! With [`RuntimeConfig::shards`] > 1 the run uses the *sharded gradient
+//! plane* (DESIGN.md §9): the parameter vector splits into contiguous
+//! ranges, each owned by its own group of server replicas; workers
+//! scatter per-range gradient slices ([`Transport::broadcast_range`]) and
+//! gather per-range model slices, and at full quorums the run stays
+//! bit-identical to the unsharded one.
+//!
 //! Scope note: the threaded runtime supports Byzantine *workers* (the
 //! attacks that forge from observed traffic); fully-omniscient server
 //! attacks are exercised in the deterministic engines where the adversary's
@@ -62,11 +69,11 @@ pub use cluster::{
     run_cluster, run_cluster_with, ClusterReport, RunHooks, RuntimeConfig, TransportKind,
     WrapTransport,
 };
-pub use pool::BufPool;
+pub use pool::{BufPool, PoolStats};
 pub use soak::{run_soak, run_soak_with, ChurnSpec, SoakConfig, SoakCounters, SoakReport};
 pub use tcp::TcpTransport;
 pub use transport::{ChannelTransport, Incoming, RecvError, Transport};
 pub use wire::{
-    decode, encode, encode_shared, prefix_frame, write_frames, StreamDecoder, WireError, WireMsg,
-    MAX_ELEMS, MAX_FRAME_BYTES,
+    decode, encode, encode_range_into, encode_range_shared, encode_shared, prefix_frame,
+    write_frames, StreamDecoder, WireError, WireMsg, MAX_ELEMS, MAX_FRAME_BYTES,
 };

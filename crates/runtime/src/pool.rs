@@ -17,6 +17,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use serde::Serialize;
+
 /// Retained free-list length. Concurrent encodes per mesh are bounded by
 /// the node count actually sending at the same instant, which on the
 /// protocol's phase structure is far below this.
@@ -32,6 +34,23 @@ pub struct BufPool {
     free: Mutex<Vec<Vec<u8>>>,
     recycled: AtomicU64,
     fresh: AtomicU64,
+    outstanding: AtomicU64,
+    high_water: AtomicU64,
+}
+
+/// A snapshot of a pool's counters, embedded in `ClusterReport` /
+/// `SoakReport` JSON so the pooled-frame plane is observable in soak runs
+/// and sweeps, not just unit tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PoolStats {
+    /// `get`s that had to allocate a fresh buffer.
+    pub fresh: u64,
+    /// `get`s served from the free list.
+    pub recycled: u64,
+    /// Most buffers simultaneously checked out over the pool's lifetime —
+    /// the true concurrency of the encode plane (and the upper bound on
+    /// memory the pool can ever pin beyond its retention cap).
+    pub high_water: u64,
 }
 
 impl BufPool {
@@ -43,7 +62,7 @@ impl BufPool {
     /// Borrows a cleared buffer: a recycled one when available, a fresh
     /// allocation otherwise. Return it with [`put`](Self::put) when done.
     pub fn get(&self) -> Vec<u8> {
-        match self.free.lock().expect("pool lock").pop() {
+        let buf = match self.free.lock().expect("pool lock").pop() {
             Some(buf) => {
                 self.recycled.fetch_add(1, Ordering::Relaxed);
                 buf
@@ -52,13 +71,23 @@ impl BufPool {
                 self.fresh.fetch_add(1, Ordering::Relaxed);
                 Vec::new()
             }
-        }
+        };
+        let now = self.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+        buf
     }
 
     /// Returns a buffer to the free list (cleared, capacity kept). Beyond
     /// the retention cap the buffer is simply dropped — the pool bounds
     /// pinned memory, it does not grow with burst size.
     pub fn put(&self, mut buf: Vec<u8>) {
+        // Saturating: `put` also accepts buffers the pool never handed out
+        // (tests seed capacity this way), which must not wrap the gauge.
+        let _ = self
+            .outstanding
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
         buf.clear();
         let mut free = self.free.lock().expect("pool lock");
         if free.len() < MAX_POOLED {
@@ -79,6 +108,20 @@ impl BufPool {
     /// `get`s that had to allocate a fresh buffer.
     pub fn fresh(&self) -> u64 {
         self.fresh.load(Ordering::Relaxed)
+    }
+
+    /// Most buffers simultaneously checked out so far.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all counters for report JSON.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            fresh: self.fresh(),
+            recycled: self.recycled(),
+            high_water: self.high_water(),
+        }
     }
 }
 
@@ -117,5 +160,38 @@ mod tests {
         assert!(buf.is_empty());
         assert_eq!(pool.fresh(), 1);
         assert_eq!(pool.recycled(), 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_concurrent_checkouts() {
+        let pool = BufPool::new();
+        let a = pool.get();
+        let b = pool.get();
+        let c = pool.get();
+        pool.put(a);
+        pool.put(b);
+        let _d = pool.get(); // back to 2 outstanding; peak stays 3
+        assert_eq!(pool.high_water(), 3);
+        pool.put(c);
+        let stats = pool.stats();
+        assert_eq!(stats.high_water, 3);
+        assert_eq!(stats.fresh, 3);
+        assert_eq!(stats.recycled, 1);
+    }
+
+    #[test]
+    fn foreign_puts_never_wrap_the_gauge() {
+        let pool = BufPool::new();
+        pool.put(Vec::with_capacity(8)); // never checked out
+        let _a = pool.get();
+        assert_eq!(pool.high_water(), 1, "gauge must not have wrapped");
+    }
+
+    #[test]
+    fn stats_serialise() {
+        let pool = BufPool::new();
+        pool.put(pool.get());
+        let json = serde_json::to_string(&pool.stats()).unwrap();
+        assert!(json.contains("\"high_water\":1"), "unexpected json: {json}");
     }
 }

@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 use tensor::TensorRng;
 
 use crate::cluster::{run_cluster_with, RunHooks, RuntimeConfig};
+use crate::pool::PoolStats;
 use crate::transport::{Incoming, RecvError, Transport};
 use crate::wire::WireMsg;
 
@@ -102,6 +103,9 @@ pub struct SoakReport {
     pub recoveries: u64,
     /// Transport-level drops (peer already gone).
     pub dropped_sends: u64,
+    /// Mesh-shared frame-pool counters (zeros when the run timed out —
+    /// the abort path carries no report to snapshot them from).
+    pub pool: PoolStats,
     /// Whether the wall timeout aborted the run.
     pub timed_out: bool,
     /// Trace fingerprint of the completed run (absent on timeout).
@@ -167,6 +171,37 @@ impl Transport for ChurnTransport {
         if !keep.is_empty() {
             self.inner.broadcast(&keep, msg);
         }
+    }
+
+    fn broadcast_range(&mut self, targets: &[usize], msg: &WireMsg, range: std::ops::Range<usize>) {
+        // Same victim filter as `broadcast`, then the zero-copy scatter of
+        // the inner engine (the default materialising fallback would also
+        // be correct, just slower).
+        let step = msg.step();
+        if self.down(self.me(), step) {
+            self.counters
+                .churn_drops
+                .fetch_add(targets.len() as u64, Ordering::Relaxed);
+            return;
+        }
+        let keep: Vec<usize> = targets
+            .iter()
+            .copied()
+            .filter(|&t| !self.down(t, step))
+            .collect();
+        let dropped = (targets.len() - keep.len()) as u64;
+        if dropped > 0 {
+            self.counters
+                .churn_drops
+                .fetch_add(dropped, Ordering::Relaxed);
+        }
+        if !keep.is_empty() {
+            self.inner.broadcast_range(&keep, msg, range);
+        }
+    }
+
+    fn pool_stats(&self) -> PoolStats {
+        self.inner.pool_stats()
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Incoming, RecvError> {
@@ -239,7 +274,9 @@ pub fn run_soak_with(
     }
     let hooks = RunHooks {
         wrap: cfg.churn.map(|spec| {
-            let servers = runtime.cluster.servers;
+            // With k shard groups the server plane occupies raw ids
+            // 0..k*servers; workers start right after it.
+            let servers = runtime.cluster.servers * runtime.shards.max(1);
             let counters = Arc::clone(&counters);
             Arc::new(move |_id: usize, inner: Box<dyn Transport>| {
                 Box::new(ChurnTransport {
@@ -257,9 +294,11 @@ pub fn run_soak_with(
     let outcome = run_cluster_with(&runtime, model_builder, train, hooks);
     let wall_secs = start.elapsed().as_secs_f64();
     let (rounds, churn_drops, recoveries, dropped_sends) = counters.snapshot();
-    let (timed_out, trace_fingerprint) = match outcome {
-        Ok(report) => (false, Some(report.trace.fingerprint())),
-        Err(GuanYuError::InvalidConfig(msg)) if msg.contains("wall timeout") => (true, None),
+    let (timed_out, trace_fingerprint, pool) = match outcome {
+        Ok(report) => (false, Some(report.trace.fingerprint()), report.pool),
+        Err(GuanYuError::InvalidConfig(msg)) if msg.contains("wall timeout") => {
+            (true, None, PoolStats::default())
+        }
         Err(e) => return Err(e),
     };
     Ok(SoakReport {
@@ -278,6 +317,7 @@ pub fn run_soak_with(
         churn_drops,
         recoveries,
         dropped_sends,
+        pool,
         timed_out,
         trace_fingerprint,
     })
@@ -333,6 +373,11 @@ mod tests {
         let report = run_soak(&cfg, builder, train_data()).unwrap();
         assert!(!report.timed_out);
         assert_eq!(report.rounds, 5);
+        assert!(
+            report.pool.fresh > 0 && report.pool.high_water > 0,
+            "pool counters must surface in the report: {:?}",
+            report.pool
+        );
         assert_eq!(report.churn_drops, 0);
         assert_eq!(report.recoveries, 0);
         assert_eq!(report.dropped_sends, 0, "clean soak must not drop sends");
@@ -385,11 +430,17 @@ mod tests {
             churn_drops: 7,
             recoveries: 2,
             dropped_sends: 0,
+            pool: PoolStats {
+                fresh: 3,
+                recycled: 11,
+                high_water: 2,
+            },
             timed_out: false,
             trace_fingerprint: Some(42),
         };
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"rounds_per_sec\""), "{json}");
         assert!(json.contains("\"pool\""), "{json}");
+        assert!(json.contains("\"high_water\":2"), "{json}");
     }
 }

@@ -44,9 +44,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::pool::BufPool;
+use crate::pool::{BufPool, PoolStats};
 use crate::transport::{Incoming, RecvError, Transport};
-use crate::wire::{encode_shared, write_frames, StreamDecoder, WireMsg};
+use crate::wire::{encode_range_shared, encode_shared, write_frames, StreamDecoder, WireMsg};
 
 /// Handshake magic ("GUAN").
 const MAGIC: u32 = 0x4755_414E;
@@ -378,6 +378,20 @@ impl Transport for TcpTransport {
         for &to in targets {
             self.send_frame(to, Arc::clone(&frame));
         }
+    }
+
+    fn broadcast_range(&mut self, targets: &[usize], msg: &WireMsg, range: std::ops::Range<usize>) {
+        // Sharded scatter: one pooled encode of the subslice, one shared
+        // frame for the whole shard group (same zero-copy discipline as
+        // `broadcast`).
+        let frame = encode_range_shared(msg, range, &self.pool);
+        for &to in targets {
+            self.send_frame(to, Arc::clone(&frame));
+        }
+    }
+
+    fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Incoming, RecvError> {

@@ -31,8 +31,8 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::pool::BufPool;
-use crate::wire::{encode_shared, WireMsg};
+use crate::pool::{BufPool, PoolStats};
+use crate::wire::{encode_range_shared, encode_shared, WireMsg};
 
 /// One received frame: the transport-level sender identity plus the raw
 /// frame bytes (decoded by the node thread, where malformed input is
@@ -72,6 +72,25 @@ pub trait Transport: Send {
 
     /// Encodes `msg` **once** and delivers the same bytes to every target.
     fn broadcast(&mut self, targets: &[usize], msg: &WireMsg);
+
+    /// Broadcasts only coordinates `range` of the message's vector — the
+    /// scatter primitive of the sharded gradient plane (DESIGN.md §9): one
+    /// frame per shard *group*, shared by every group member.
+    ///
+    /// The default implementation materialises the slice and falls back to
+    /// [`broadcast`](Transport::broadcast), which keeps decorators correct
+    /// by construction (their filtering and counting still apply); the
+    /// concrete engines override it to encode straight off the original
+    /// tensor's subslice through the pooled zero-copy path.
+    fn broadcast_range(&mut self, targets: &[usize], msg: &WireMsg, range: std::ops::Range<usize>) {
+        self.broadcast(targets, &msg.slice(range));
+    }
+
+    /// Snapshot of the mesh-shared encode pool's counters, for report
+    /// JSON. Transports without pooled buffers report zeros.
+    fn pool_stats(&self) -> PoolStats {
+        PoolStats::default()
+    }
 
     /// Blocks up to `timeout` for the next frame.
     ///
@@ -176,6 +195,19 @@ impl Transport for ChannelTransport {
         }
     }
 
+    fn broadcast_range(&mut self, targets: &[usize], msg: &WireMsg, range: std::ops::Range<usize>) {
+        // Zero-copy scatter: the slice is encoded straight off the original
+        // tensor buffer into pooled scratch; no per-shard tensor exists.
+        let payload = encode_range_shared(msg, range, &self.pool);
+        for &to in targets {
+            self.send_frame(to, Arc::clone(&payload));
+        }
+    }
+
+    fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Incoming, RecvError> {
         match self.rx.recv_timeout(timeout) {
             Ok(f) => Ok(Incoming {
@@ -251,6 +283,26 @@ mod tests {
         }
         assert_eq!(n0.pool.fresh(), 1, "one warm-up allocation");
         assert_eq!(n0.pool.recycled(), 4, "steady state reuses the scratch");
+    }
+
+    #[test]
+    fn channel_broadcast_range_shares_one_sliced_frame() {
+        let mut mesh = ChannelTransport::mesh(3);
+        let mut n2 = mesh.pop().unwrap();
+        let mut n1 = mesh.pop().unwrap();
+        let mut n0 = mesh.pop().unwrap();
+        let full = WireMsg::Gradient {
+            step: 3,
+            grad: Tensor::from_flat(vec![0.0, 1.0, 2.0, 3.0, 4.0]),
+        };
+        n0.broadcast_range(&[1, 2], &full, 1..4);
+        let a = n1.recv_timeout(Duration::from_secs(1)).unwrap();
+        let b = n2.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(Arc::ptr_eq(&a.payload, &b.payload), "scatter must share");
+        let decoded = decode(&a.payload).unwrap();
+        assert_eq!(decoded.step(), 3);
+        assert_eq!(decoded.vector().as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(n0.pool_stats().fresh, 1);
     }
 
     #[test]

@@ -104,6 +104,34 @@ impl WireMsg {
             WireMsg::Exchange { .. } => TAG_EXCHANGE,
         }
     }
+
+    /// A copy of the message carrying only coordinates `range` of its
+    /// vector. This is the *materialising* fallback behind
+    /// [`Transport::broadcast_range`](crate::Transport::broadcast_range) —
+    /// the concrete transports skip it and encode the range straight off
+    /// the original buffer via [`encode_range_shared`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` does not fit the carried vector.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> WireMsg {
+        let data = self.vector().as_slice()[range].to_vec();
+        let t = Tensor::from_flat(data);
+        match self {
+            WireMsg::Model { step, .. } => WireMsg::Model {
+                step: *step,
+                params: t,
+            },
+            WireMsg::Gradient { step, .. } => WireMsg::Gradient {
+                step: *step,
+                grad: t,
+            },
+            WireMsg::Exchange { step, .. } => WireMsg::Exchange {
+                step: *step,
+                params: t,
+            },
+        }
+    }
 }
 
 /// Decoding failures (malformed or truncated frames).
@@ -141,19 +169,38 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Encodes a message into `buf` (cleared first), straight from the
-/// message's borrowed tensor buffer. Returns nothing; `buf` holds exactly
-/// one frame afterwards.
-pub fn encode_into(msg: &WireMsg, buf: &mut Vec<u8>) {
-    let data = msg.vector().as_slice();
+/// Fills `buf` (cleared first) with one frame: `tag`/`step` header plus
+/// `data` as the payload. All encode entry points funnel through this.
+fn encode_parts(tag: u8, step: u64, data: &[f32], buf: &mut Vec<u8>) {
     buf.clear();
     buf.reserve(HEADER + data.len() * 4);
-    buf.push(msg.tag());
-    buf.extend_from_slice(&msg.step().to_le_bytes());
+    buf.push(tag);
+    buf.extend_from_slice(&step.to_le_bytes());
     buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
     for &v in data {
         buf.extend_from_slice(&v.to_le_bytes());
     }
+}
+
+/// Encodes a message into `buf` (cleared first), straight from the
+/// message's borrowed tensor buffer. Returns nothing; `buf` holds exactly
+/// one frame afterwards.
+pub fn encode_into(msg: &WireMsg, buf: &mut Vec<u8>) {
+    encode_parts(msg.tag(), msg.step(), msg.vector().as_slice(), buf);
+}
+
+/// Encodes coordinates `range` of the message's vector into `buf` — the
+/// scatter path of the sharded gradient plane (DESIGN.md §9). The payload
+/// is read straight off the original tensor's subslice, so no intermediate
+/// per-shard tensor or buffer is ever materialised; the receiver decodes a
+/// normal message of length `range.len()` and cannot tell the difference
+/// from an unsharded send of that slice.
+///
+/// # Panics
+///
+/// Panics when `range` does not fit the carried vector.
+pub fn encode_range_into(msg: &WireMsg, range: std::ops::Range<usize>, buf: &mut Vec<u8>) {
+    encode_parts(msg.tag(), msg.step(), &msg.vector().as_slice()[range], buf);
 }
 
 /// Encodes a message into a fresh frame.
@@ -172,6 +219,26 @@ pub fn encode(msg: &WireMsg) -> Vec<u8> {
 pub fn encode_shared(msg: &WireMsg, pool: &BufPool) -> Arc<[u8]> {
     let mut scratch = pool.get();
     encode_into(msg, &mut scratch);
+    let frame: Arc<[u8]> = scratch.as_slice().into();
+    pool.put(scratch);
+    frame
+}
+
+/// [`encode_range_into`] through a recycled pool scratch buffer into an
+/// `Arc`-shared frame — one encode + one shared allocation per shard group
+/// however many group members fan out, exactly like [`encode_shared`] for
+/// the unsharded plane.
+///
+/// # Panics
+///
+/// Panics when `range` does not fit the carried vector.
+pub fn encode_range_shared(
+    msg: &WireMsg,
+    range: std::ops::Range<usize>,
+    pool: &BufPool,
+) -> Arc<[u8]> {
+    let mut scratch = pool.get();
+    encode_range_into(msg, range, &mut scratch);
     let frame: Arc<[u8]> = scratch.as_slice().into();
     pool.put(scratch);
     frame
@@ -564,6 +631,51 @@ mod tests {
         assert_eq!(decode(&b).unwrap(), sample(TAG_GRADIENT));
         assert_eq!(pool.fresh(), 1, "second encode reuses the first scratch");
         assert_eq!(pool.recycled(), 1);
+    }
+
+    #[test]
+    fn range_encode_is_bit_identical_to_slicing_first() {
+        let msg = WireMsg::Gradient {
+            step: 42,
+            grad: Tensor::from_flat((0..11).map(|i| i as f32 * -0.25).collect()),
+        };
+        for range in [0..11, 0..1, 3..7, 10..11, 5..5] {
+            let mut ranged = Vec::new();
+            encode_range_into(&msg, range.clone(), &mut ranged);
+            assert_eq!(
+                ranged,
+                encode(&msg.slice(range.clone())),
+                "range {range:?} differs from encoding the sliced message"
+            );
+            let decoded = decode(&ranged).unwrap();
+            assert_eq!(decoded.step(), 42);
+            assert_eq!(decoded.vector().len(), range.len());
+        }
+    }
+
+    #[test]
+    fn range_encode_shared_recycles_and_round_trips() {
+        let pool = BufPool::new();
+        let msg = WireMsg::Model {
+            step: 7,
+            params: Tensor::from_flat(vec![1.0, 2.0, 3.0, 4.0]),
+        };
+        let a = encode_range_shared(&msg, 1..3, &pool);
+        let b = encode_range_shared(&msg, 0..2, &pool);
+        assert_eq!(decode(&a).unwrap().vector().as_slice(), &[2.0, 3.0]);
+        assert_eq!(decode(&b).unwrap().vector().as_slice(), &[1.0, 2.0]);
+        assert_eq!(pool.fresh(), 1, "second range encode reuses the scratch");
+    }
+
+    #[test]
+    fn slice_preserves_variant_and_step() {
+        let msg = WireMsg::Exchange {
+            step: 9,
+            params: Tensor::from_flat(vec![5.0, 6.0, 7.0]),
+        };
+        let sliced = msg.slice(1..2);
+        assert!(matches!(sliced, WireMsg::Exchange { step: 9, .. }));
+        assert_eq!(sliced.vector().as_slice(), &[6.0]);
     }
 
     #[test]

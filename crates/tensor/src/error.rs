@@ -49,6 +49,16 @@ pub enum TensorError {
         /// The tensor's shape.
         shape: Vec<usize>,
     },
+    /// A shard range does not fit the flat storage, or a shard set does not
+    /// tile `0..len` contiguously (see [`crate::TensorShard`]).
+    InvalidShard {
+        /// Start of the offending coordinate range.
+        start: usize,
+        /// End (exclusive) of the offending coordinate range.
+        end: usize,
+        /// Length of the flat storage the range must fit or tile.
+        len: usize,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -74,6 +84,12 @@ impl fmt::Display for TensorError {
             TensorError::Empty => write!(f, "operation requires a non-empty tensor"),
             TensorError::IndexOutOfBounds { index, shape } => {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidShard { start, end, len } => {
+                write!(
+                    f,
+                    "shard range {start}..{end} invalid for storage of length {len}"
+                )
             }
         }
     }

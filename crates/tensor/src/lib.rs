@@ -32,12 +32,14 @@ mod error;
 mod ops;
 mod random;
 mod shape;
+mod shard;
 #[allow(clippy::module_inception)]
 mod tensor;
 
 pub use error::TensorError;
 pub use random::TensorRng;
 pub use shape::Shape;
+pub use shard::TensorShard;
 pub use tensor::Tensor;
 
 /// Convenience alias: results of fallible tensor operations.

@@ -1,0 +1,235 @@
+//! Zero-copy shard views over a tensor's flat storage.
+//!
+//! A [`TensorShard`] is `(Arc<[f32]>, Range<usize>)`: a refcount bump plus a
+//! coordinate range, nothing else. Splitting a parameter vector into shard
+//! views copies no data, and merging views that still share one storage and
+//! tile it exactly reconstructs the original tensor by handing the same
+//! `Arc` back (DESIGN.md §9). The sharded runtime uses these views to slice
+//! the gradient plane across server groups without ever materialising
+//! per-shard buffers on the scatter side.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// A zero-copy view of a contiguous coordinate range of a tensor's flat
+/// row-major storage.
+///
+/// Constructed by [`Tensor::shard_view`]; by construction the range always
+/// fits the storage it points into. Cloning a shard bumps the storage
+/// refcount — no float is ever copied until [`TensorShard::to_tensor`].
+#[derive(Debug, Clone)]
+pub struct TensorShard {
+    data: Arc<[f32]>,
+    range: Range<usize>,
+}
+
+impl TensorShard {
+    /// Read-only view of this shard's coordinates.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data[self.range.clone()]
+    }
+
+    /// The coordinate range this shard covers in the full vector.
+    pub fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    /// Global coordinate of this shard's first element.
+    pub fn offset(&self) -> usize {
+        self.range.start
+    }
+
+    /// Number of coordinates in the shard.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the shard covers zero coordinates.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Whether this shard still points into `tensor`'s storage (i.e. the
+    /// split really was zero-copy and nothing has detached since).
+    pub fn shares_storage(&self, tensor: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &tensor.storage())
+    }
+
+    /// Materialises the shard as an owned rank-1 tensor (the one copy in
+    /// the shard lifecycle, used when a shard must travel alone).
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_flat(self.as_slice().to_vec())
+    }
+}
+
+impl Tensor {
+    /// A zero-copy shard view of coordinates `range` of the flat storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShard`] if the range does not fit the
+    /// storage (`start > end` or `end > len`).
+    pub fn shard_view(&self, range: Range<usize>) -> Result<TensorShard> {
+        if range.start > range.end || range.end > self.len() {
+            return Err(TensorError::InvalidShard {
+                start: range.start,
+                end: range.end,
+                len: self.len(),
+            });
+        }
+        Ok(TensorShard {
+            data: self.storage(),
+            range,
+        })
+    }
+
+    /// Reassembles shards into one rank-1 tensor.
+    ///
+    /// The shards must tile `0..d` contiguously in order (first starts at 0,
+    /// each next shard starts where the previous ended). When every shard
+    /// still points at the *same* storage and the tiling covers it exactly,
+    /// the merge is zero-copy: the shared `Arc` is handed back. Otherwise
+    /// the coordinates are gathered with a single copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShard`] for an empty shard list or a
+    /// non-contiguous tiling; the reported range is the offending shard's
+    /// and `len` is the coordinate where the tiling should have continued.
+    pub fn merge_shards(shards: &[TensorShard]) -> Result<Tensor> {
+        let first = shards.first().ok_or(TensorError::InvalidShard {
+            start: 0,
+            end: 0,
+            len: 0,
+        })?;
+        let mut expected = 0usize;
+        for shard in shards {
+            if shard.range.start != expected {
+                return Err(TensorError::InvalidShard {
+                    start: shard.range.start,
+                    end: shard.range.end,
+                    len: expected,
+                });
+            }
+            expected = shard.range.end;
+        }
+        let shared = shards.iter().all(|s| Arc::ptr_eq(&s.data, &first.data))
+            && expected == first.data.len();
+        if shared {
+            return Ok(Tensor::from_shared(Arc::clone(&first.data)));
+        }
+        let mut out = Vec::with_capacity(expected);
+        for shard in shards {
+            out.extend_from_slice(shard.as_slice());
+        }
+        Ok(Tensor::from_flat(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(d: usize) -> Tensor {
+        Tensor::from_flat((0..d).map(|i| i as f32 * 0.5 - 3.0).collect())
+    }
+
+    #[test]
+    fn split_is_zero_copy() {
+        let t = params(10);
+        let a = t.shard_view(0..4).unwrap();
+        let b = t.shard_view(4..10).unwrap();
+        assert!(a.shares_storage(&t) && b.shares_storage(&t));
+        assert_eq!(a.as_slice(), &t.as_slice()[..4]);
+        assert_eq!(b.as_slice(), &t.as_slice()[4..]);
+        assert_eq!((a.offset(), a.len()), (0, 4));
+    }
+
+    #[test]
+    fn merge_of_shared_tiling_is_zero_copy() {
+        let t = params(9);
+        let shards: Vec<TensorShard> = [0..2, 2..3, 3..9]
+            .into_iter()
+            .map(|r| t.shard_view(r).unwrap())
+            .collect();
+        let merged = Tensor::merge_shards(&shards).unwrap();
+        assert_eq!(merged, t);
+        // Same Arc handed back, not an equal copy.
+        assert!(shards[0].shares_storage(&merged));
+    }
+
+    #[test]
+    fn merge_gathers_disjoint_storages() {
+        // Shards from two different tensors: contiguous tiling, but no
+        // shared Arc — the merge must gather-copy.
+        let a = params(3).shard_view(0..3).unwrap();
+        let other = Tensor::from_flat(vec![0.0, 0.0, 0.0, 9.0, 8.0]);
+        let b = other.shard_view(3..5).unwrap();
+        let merged = Tensor::merge_shards(&[a.clone(), b]).unwrap();
+        assert_eq!(merged.as_slice(), &[-3.0, -2.5, -2.0, 9.0, 8.0]);
+        assert!(!a.shares_storage(&merged));
+    }
+
+    #[test]
+    fn partial_tiling_merges_with_a_copy() {
+        // Shards share one storage but only cover a prefix: values are
+        // right, storage is fresh.
+        let t = params(8);
+        let shards = [t.shard_view(0..3).unwrap(), t.shard_view(3..5).unwrap()];
+        let merged = Tensor::merge_shards(&shards).unwrap();
+        assert_eq!(merged.as_slice(), &t.as_slice()[..5]);
+        assert!(!shards[0].shares_storage(&merged));
+    }
+
+    #[test]
+    fn out_of_range_view_is_rejected() {
+        let t = params(4);
+        assert!(matches!(
+            t.shard_view(2..6),
+            Err(TensorError::InvalidShard {
+                start: 2,
+                end: 6,
+                len: 4
+            })
+        ));
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // the inversion is the point
+    fn inverted_and_gapped_ranges_are_rejected() {
+        let t = params(6);
+        assert!(t.shard_view(4..2).is_err());
+        let shards = [t.shard_view(0..2).unwrap(), t.shard_view(3..6).unwrap()];
+        assert!(matches!(
+            Tensor::merge_shards(&shards),
+            Err(TensorError::InvalidShard {
+                start: 3,
+                end: 6,
+                len: 2
+            })
+        ));
+        assert!(Tensor::merge_shards(&[]).is_err());
+    }
+
+    #[test]
+    fn one_coordinate_shards_round_trip() {
+        let t = params(5);
+        let shards: Vec<TensorShard> = (0..5).map(|i| t.shard_view(i..i + 1).unwrap()).collect();
+        let merged = Tensor::merge_shards(&shards).unwrap();
+        assert_eq!(merged, t);
+        assert!(shards[0].shares_storage(&merged));
+    }
+
+    #[test]
+    fn to_tensor_copies_values() {
+        let t = params(6);
+        let s = t.shard_view(2..5).unwrap();
+        let owned = s.to_tensor();
+        assert_eq!(owned.as_slice(), s.as_slice());
+        assert!(!s.shares_storage(&owned));
+    }
+}

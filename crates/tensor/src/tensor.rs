@@ -137,6 +137,19 @@ impl Tensor {
         &self.data
     }
 
+    /// A handle on the shared storage (refcount bump, no copy) — the shard
+    /// views in [`crate::shard`] are built from this.
+    pub(crate) fn storage(&self) -> Arc<[f32]> {
+        Arc::clone(&self.data)
+    }
+
+    /// Wraps an already-shared buffer as a rank-1 tensor without copying —
+    /// the zero-copy merge path in [`crate::shard`].
+    pub(crate) fn from_shared(data: Arc<[f32]>) -> Self {
+        let shape = Shape::new(&[data.len()]);
+        Tensor { shape, data }
+    }
+
     /// Mutable view of the flat row-major buffer.
     ///
     /// Copy-on-write: detaches this tensor onto a private buffer first if

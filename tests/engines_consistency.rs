@@ -207,3 +207,159 @@ fn tcp_engine_matches_channel_engine_trace_for_trace() {
     assert_eq!(chan.dropped_sends, 0, "clean channel run dropped sends");
     assert_eq!(tcp.dropped_sends, 0, "clean TCP run dropped sends");
 }
+
+/// Sharding is a deployment choice, not a semantics choice: for every
+/// coordinate-wise GAR (whose per-range folds tile to the full-vector
+/// fold) and on both transports, a sharded run at full quorums must be
+/// **bit-identical** to the unsharded run — same round-by-round trace,
+/// same fingerprint, same final parameters (DESIGN.md §9).
+#[test]
+fn sharded_runs_match_unsharded_for_all_coordinatewise_gars() {
+    let run = |gar: aggregation::GarKind, transport: TransportKind, shards: usize| {
+        let (train, _) = dataset();
+        let cfg = RuntimeConfig {
+            // worker quorum 6 makes `krum_f()` = 1, so TrimmedMean builds.
+            cluster: ClusterConfig::with_quorums(3, 0, 6, 0, 3, 6).unwrap(),
+            max_steps: 4,
+            batch_size: 16,
+            seed: 11,
+            server_gar: gar,
+            wall_timeout: Duration::from_secs(120),
+            transport,
+            shards,
+            ..RuntimeConfig::default_for_tests()
+        };
+        run_cluster(&cfg, builder, train).unwrap()
+    };
+    for gar in [
+        aggregation::GarKind::Average,
+        aggregation::GarKind::Median,
+        aggregation::GarKind::TrimmedMean,
+        aggregation::GarKind::Meamed,
+    ] {
+        for transport in [TransportKind::Channel, TransportKind::TcpLoopback] {
+            let flat = run(gar, transport, 1);
+            let sharded = run(gar, transport, 2);
+            assert_eq!(
+                flat.trace, sharded.trace,
+                "{gar:?}/{transport}: sharded trace diverged"
+            );
+            assert_eq!(
+                flat.trace.fingerprint(),
+                sharded.trace.fingerprint(),
+                "{gar:?}/{transport}: fingerprint diverged"
+            );
+            for (i, (a, b)) in flat
+                .final_params
+                .iter()
+                .zip(&sharded.final_params)
+                .enumerate()
+            {
+                assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "{gar:?}/{transport}: server {i} final params diverged"
+                );
+            }
+            assert_eq!(sharded.dropped_sends, 0, "{gar:?}/{transport}: drops");
+            assert_eq!(
+                sharded.link_failures, 0,
+                "{gar:?}/{transport}: severed links"
+            );
+        }
+    }
+}
+
+/// Four shard groups behave exactly like one; the group count only remaps
+/// where each coordinate range lives.
+#[test]
+fn four_shard_groups_still_match_unsharded() {
+    let run = |shards: usize| {
+        let (train, _) = dataset();
+        let cfg = RuntimeConfig {
+            cluster: ClusterConfig::with_quorums(3, 0, 4, 0, 3, 4).unwrap(),
+            max_steps: 4,
+            batch_size: 16,
+            seed: 23,
+            server_gar: aggregation::GarKind::Median,
+            wall_timeout: Duration::from_secs(120),
+            shards,
+            ..RuntimeConfig::default_for_tests()
+        };
+        run_cluster(&cfg, builder, train).unwrap()
+    };
+    let flat = run(1);
+    let sharded = run(4);
+    assert_eq!(flat.trace, sharded.trace);
+    for (a, b) in flat.final_params.iter().zip(&sharded.final_params) {
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}
+
+/// Shard groups are failure-isolated: a server that goes mute in one
+/// group must not stall the other groups or the run — quorums inside the
+/// victim's group absorb the silence and every round still completes.
+#[test]
+fn crashed_server_in_one_shard_group_does_not_stall_others() {
+    use guanyu_runtime::{run_cluster_with, Incoming, RecvError, RunHooks, Transport, WireMsg};
+    use std::sync::Arc;
+
+    /// Outbound-mute decorator: the victim keeps receiving (so its own
+    /// thread exits cleanly) but nothing it sends ever leaves the node.
+    struct MuteOutbound(Box<dyn Transport>);
+    impl Transport for MuteOutbound {
+        fn me(&self) -> usize {
+            self.0.me()
+        }
+        fn send(&mut self, _to: usize, _msg: &WireMsg) {}
+        fn broadcast(&mut self, _targets: &[usize], _msg: &WireMsg) {}
+        // `broadcast_range`'s default delegates to `broadcast`: muted too.
+        fn recv_timeout(&mut self, timeout: Duration) -> Result<Incoming, RecvError> {
+            self.0.recv_timeout(timeout)
+        }
+        fn dropped_sends(&self) -> u64 {
+            self.0.dropped_sends()
+        }
+        fn link_failures(&self) -> u64 {
+            self.0.link_failures()
+        }
+        fn shutdown(&mut self) {
+            self.0.shutdown()
+        }
+    }
+
+    let (train, _) = dataset();
+    const MAX_STEPS: u64 = 4;
+    let cfg = RuntimeConfig {
+        // 4 servers per group, exchange quorum 3: group 0 keeps folding
+        // with servers {0, 2, 3} once raw id 1 goes silent.
+        cluster: ClusterConfig::with_quorums(4, 0, 4, 0, 3, 4).unwrap(),
+        max_steps: MAX_STEPS,
+        batch_size: 16,
+        seed: 29,
+        server_gar: aggregation::GarKind::Median,
+        wall_timeout: Duration::from_secs(120),
+        shards: 2,
+        ..RuntimeConfig::default_for_tests()
+    };
+    let hooks = RunHooks {
+        wrap: Some(Arc::new(|id, net| {
+            if id == 1 {
+                Box::new(MuteOutbound(net)) as Box<dyn Transport>
+            } else {
+                net
+            }
+        })),
+        ..RunHooks::default()
+    };
+    let report = run_cluster_with(&cfg, builder, train, hooks).unwrap();
+    assert_eq!(
+        report.trace.len(),
+        MAX_STEPS as usize,
+        "every group must complete every round despite the mute server"
+    );
+    assert_eq!(report.final_params.len(), 4);
+    for p in &report.final_params {
+        assert!(p.is_finite());
+    }
+}
