@@ -133,6 +133,13 @@ pub fn get_field<'a>(obj: &'a [(String, Value)], name: &str) -> Result<&'a Value
         .ok_or_else(|| DeError(format!("missing field `{name}`")))
 }
 
+/// Looks up an optional field of an object (derive-macro helper for
+/// `#[serde(default)]`): `None` means the field is absent and the derive
+/// substitutes `Default::default()`.
+pub fn get_field_opt<'a>(obj: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
 /// Types that can render themselves into a [`Value`] tree.
 pub trait Serialize {
     /// Converts `self` into a [`Value`].

@@ -7,22 +7,25 @@
 //! * one-field tuple ("newtype") structs → transparent,
 //! * enums with unit / named-field / newtype variants → externally tagged,
 //!
-//! matching upstream serde's default representation. Generics and
-//! `#[serde(...)]` attributes are not supported (and not used here).
+//! matching upstream serde's default representation. The only container
+//! attribute supported is `#[serde(default)]` on a named field: a missing
+//! field deserializes to `Default::default()` instead of erroring (used
+//! for schema evolution — old files stay readable after a field is
+//! added). Other `#[serde(...)]` attributes and generics are unsupported.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write as _;
 use std::iter::Peekable;
 
 /// Derives `serde::Serialize` (stand-in).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item).parse().expect("generated code parses")
 }
 
 /// Derives `serde::Deserialize` (stand-in).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -32,10 +35,16 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 enum Data {
     /// Named fields, in declaration order.
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     /// `struct Name(Inner);`
     NewtypeStruct,
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: tolerate absence on deserialization.
+    default: bool,
 }
 
 struct Variant {
@@ -45,7 +54,7 @@ struct Variant {
 
 enum VariantKind {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Newtype,
 }
 
@@ -56,15 +65,42 @@ struct Item {
 
 type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
 
-/// Skips `#[...]` / `#![...]` attributes (including doc comments).
-fn skip_attributes(it: &mut Tokens) {
+/// Whether an attribute body (the tokens inside `#[...]`) is
+/// `serde(...)` containing the `default` ident.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Skips `#[...]` / `#![...]` attributes (including doc comments),
+/// reporting whether any of them was `#[serde(default)]`.
+fn skip_attributes_detect(it: &mut Tokens) -> bool {
+    let mut default = false;
     while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         it.next();
         if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
             it.next();
         }
-        it.next(); // the [...] group
+        if let Some(TokenTree::Group(g)) = it.next() {
+            default |= attr_is_serde_default(&g);
+        }
     }
+    default
+}
+
+/// Skips `#[...]` / `#![...]` attributes (including doc comments).
+fn skip_attributes(it: &mut Tokens) {
+    let _ = skip_attributes_detect(it);
 }
 
 /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
@@ -118,14 +154,14 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, data }
 }
 
-/// Field names of a `{ name: Type, ... }` body, skipping attributes,
-/// visibility and the type tokens (tracking `<...>` nesting so commas inside
-/// generic arguments don't split fields).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Fields of a `{ name: Type, ... }` body, skipping attributes (noting
+/// `#[serde(default)]`), visibility and the type tokens (tracking `<...>`
+/// nesting so commas inside generic arguments don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut it = stream.into_iter().peekable();
     loop {
-        skip_attributes(&mut it);
+        let default = skip_attributes_detect(&mut it);
         if it.peek().is_none() {
             break;
         }
@@ -147,7 +183,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
                 _ => {}
             }
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
 }
@@ -211,14 +247,15 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     variants
 }
 
-fn push_fields_ser(out: &mut String, fields: &[String], accessor: impl Fn(&str) -> String) {
+fn push_fields_ser(out: &mut String, fields: &[Field], accessor: impl Fn(&str) -> String) {
     out.push_str("let mut __fields = ::std::vec::Vec::new();");
     for f in fields {
+        let fname = &f.name;
         let _ = write!(
             out,
-            "__fields.push((::std::string::String::from(\"{f}\"), \
+            "__fields.push((::std::string::String::from(\"{fname}\"), \
              ::serde::Serialize::serialize_value({})));",
-            accessor(f)
+            accessor(fname)
         );
     }
 }
@@ -247,7 +284,11 @@ fn gen_serialize(item: &Item) -> String {
                         );
                     }
                     VariantKind::Named(fields) => {
-                        let bindings = fields.join(", ");
+                        let bindings = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let _ = write!(body, "{name}::{vname} {{ {bindings} }} => {{");
                         push_fields_ser(&mut body, fields, |f| f.to_owned());
                         let _ = write!(
@@ -279,7 +320,7 @@ fn gen_serialize(item: &Item) -> String {
     )
 }
 
-fn gen_named_de(out: &mut String, type_path: &str, fields: &[String], source: &str) {
+fn gen_named_de(out: &mut String, type_path: &str, fields: &[Field], source: &str) {
     let _ = write!(
         out,
         "let __obj = {source}.as_object().ok_or_else(|| \
@@ -287,10 +328,22 @@ fn gen_named_de(out: &mut String, type_path: &str, fields: &[String], source: &s
          ::std::result::Result::Ok({type_path} {{"
     );
     for f in fields {
-        let _ = write!(
-            out,
-            "{f}: ::serde::Deserialize::deserialize_value(::serde::get_field(__obj, \"{f}\")?)?,"
-        );
+        let fname = &f.name;
+        if f.default {
+            let _ = write!(
+                out,
+                "{fname}: match ::serde::get_field_opt(__obj, \"{fname}\") {{\
+                 ::std::option::Option::Some(__f) => \
+                 ::serde::Deserialize::deserialize_value(__f)?,\
+                 ::std::option::Option::None => ::std::default::Default::default(),}},"
+            );
+        } else {
+            let _ = write!(
+                out,
+                "{fname}: ::serde::Deserialize::deserialize_value(\
+                 ::serde::get_field(__obj, \"{fname}\")?)?,"
+            );
+        }
     }
     out.push_str("})");
 }

@@ -29,7 +29,7 @@ use aggregation::{CoordinateWiseMedian, Gar, GarKind};
 use byzantine::{Attack, AttackKind, AttackView};
 use data::{Batcher, Dataset};
 use nn::{softmax_cross_entropy, LrSchedule, Sequential};
-use simnet::{Context, DelayModel, NodeId, SimNode, SimTime, Simulator};
+use simnet::{Context, DelayModel, NetworkModel, NodeId, SimNode, SimTime, Simulator};
 use tensor::{Tensor, TensorRng};
 
 use crate::config::ClusterConfig;
@@ -723,6 +723,32 @@ pub fn build_simulation(
     }
 
     Ok((sim, recorder))
+}
+
+/// Builds a ready-to-run simulation over a declarative [`NetworkModel`].
+///
+/// [`NetworkModel::Sampled`] is exactly [`build_simulation`] with
+/// [`DelayModel::grid5000`]; [`NetworkModel::Switched`] routes the same
+/// deployment through the switched fabric (`simnet::SwitchedConfig`), so
+/// stragglers and losses emerge from parameter-server incast instead of
+/// being sampled.
+///
+/// # Errors
+///
+/// Returns [`GuanYuError::InvalidConfig`] on inconsistent configuration.
+pub fn build_simulation_net(
+    cfg: &ProtocolConfig,
+    model_builder: impl Fn(&mut TensorRng) -> Sequential,
+    train: Dataset,
+    seed: u64,
+    network: &NetworkModel,
+) -> Result<(Simulator<Msg>, Rc<RefCell<Recorder>>)> {
+    let (sim, recorder) =
+        build_simulation(cfg, model_builder, train, seed, DelayModel::grid5000())?;
+    match network.switched_config() {
+        Some(switched) => Ok((sim.with_switched(switched), recorder)),
+        None => Ok((sim, recorder)),
+    }
 }
 
 #[cfg(test)]

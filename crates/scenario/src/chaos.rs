@@ -260,6 +260,20 @@ fn sample_candidate(rng: &mut TensorRng, index: u64) -> Scenario {
             scn = scn.with_fault(start, end, kind);
         }
     }
+
+    // Physical network, drawn last so the fault-schedule stream above is
+    // unchanged from pre-switched-mode seeds (same seed, same schedules).
+    // ~30% of samples run over the switched fabric, composing emergent
+    // congestion with whatever scripted faults were drawn.
+    if rng.below(10) < 3 {
+        let oversubscription = [1.0, 2.0, 4.0, 8.0][rng.below(4)];
+        let queue_bytes = [128 * 1024, 256 * 1024, 512 * 1024, 1 << 20][rng.below(4)];
+        scn = scn.with_network(simnet::NetworkModel::Switched {
+            oversubscription,
+            queue_bytes,
+            link_bw: 1.25e9,
+        });
+    }
     scn
 }
 
@@ -441,6 +455,21 @@ mod tests {
             classes.len() >= 5,
             "fault-class diversity too low: {classes:?}"
         );
+    }
+
+    #[test]
+    fn sampler_emits_switched_networks_in_bounds() {
+        let mut g = ChaosGen::new(11);
+        let scns: Vec<Scenario> = (0..40).map(|_| g.sample()).collect();
+        let switched = scns
+            .iter()
+            .filter(|s| s.network != simnet::NetworkModel::Sampled)
+            .count();
+        assert!(switched > 0, "sampler never drew a switched fabric");
+        assert!(switched < scns.len(), "sampler only drew switched fabrics");
+        for s in &scns {
+            assert!(s.network_valid(), "{}: degenerate fabric", s.name);
+        }
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub struct InvariantReport {
     pub scale: f64,
     /// Messages the fault plan dropped (event engine).
     pub messages_dropped: u64,
+    /// Transient drop-tail queue overflows (switched-network runs; the
+    /// transport retransmitted these).
+    #[serde(default)]
+    pub queue_drops: u64,
+    /// Go-back-n retransmission attempts (switched-network runs).
+    #[serde(default)]
+    pub retransmits: u64,
     /// Simulated seconds.
     pub sim_secs: f64,
 }
@@ -134,6 +141,8 @@ pub fn check_invariants(
         agreement_diameter: diam,
         scale,
         messages_dropped: run.messages_dropped,
+        queue_drops: run.queue_drops,
+        retransmits: run.retransmits,
         sim_secs: run.sim_secs,
     })
 }

@@ -55,3 +55,4 @@ pub use file::{Expectation, ScenarioFile};
 pub use run::{calibrate_round_secs, run_event, run_event_with, run_lockstep, Engine, ScenarioRun};
 pub use scenario::{matrix, Scenario};
 pub use shrink::{shrink, ShrinkOutcome};
+pub use simnet::NetworkModel;

@@ -4,11 +4,11 @@ use data::synthetic_cifar;
 use guanyu::cost::CostModel;
 use guanyu::faults::FaultKind;
 use guanyu::lockstep::{LockstepConfig, LockstepTrainer};
-use guanyu::protocol::{build_simulation, ProtocolConfig};
+use guanyu::protocol::{build_simulation_net, ProtocolConfig};
 use guanyu::trace::Trace;
 use guanyu::Result;
 use nn::{models, LrSchedule, Sequential};
-use simnet::{DelayModel, FaultPlan, NodeId, SimTime};
+use simnet::{FaultPlan, NodeId, SimTime};
 use tensor::{Tensor, TensorRng};
 
 use crate::scenario::Scenario;
@@ -49,6 +49,12 @@ pub struct ScenarioRun {
     /// Messages lost to the fault plan (event engine; 0 for lockstep,
     /// whose faults shrink quorums instead of dropping queued messages).
     pub messages_dropped: u64,
+    /// Switched-network event runs: transient drop-tail queue overflows
+    /// (recovered by retransmission; 0 elsewhere).
+    pub queue_drops: u64,
+    /// Switched-network event runs: go-back-n retransmission attempts
+    /// (0 elsewhere).
+    pub retransmits: u64,
     /// Simulated seconds the run covered.
     pub sim_secs: f64,
 }
@@ -95,6 +101,8 @@ pub fn run_lockstep(scn: &Scenario) -> Result<ScenarioRun> {
         final_params,
         diverged: trainer.diverged(),
         messages_dropped: 0,
+        queue_drops: 0,
+        retransmits: 0,
         sim_secs: trainer.sim_time_secs(),
     })
 }
@@ -186,13 +194,8 @@ fn protocol_config(scn: &Scenario) -> ProtocolConfig {
 pub fn calibrate_round_secs(scn: &Scenario) -> Result<f64> {
     let cfg = protocol_config(scn);
     let (train, _) = synthetic_cifar(&scn.data)?;
-    let (mut sim, rec) = build_simulation(
-        &cfg,
-        model_builder(scn),
-        train,
-        scn.seed,
-        DelayModel::grid5000(),
-    )?;
+    let (mut sim, rec) =
+        build_simulation_net(&cfg, model_builder(scn), train, scn.seed, &scn.network)?;
     sim.run();
     let last = rec.borrow().step_finished_at(scn.steps.saturating_sub(1));
     Ok(match last {
@@ -228,10 +231,12 @@ pub fn run_event_with(scn: &Scenario, round_secs: f64) -> Result<ScenarioRun> {
     let builder = model_builder(scn);
     let (train, _) = synthetic_cifar(&scn.data)?;
     let plan = compile_fault_plan(scn, round_secs);
-    let (sim, rec) = build_simulation(&cfg, &builder, train, scn.seed, DelayModel::grid5000())?;
+    let (sim, rec) = build_simulation_net(&cfg, &builder, train, scn.seed, &scn.network)?;
     let mut sim = sim.with_faults(plan);
     sim.run();
     let dropped = sim.stats().messages_dropped;
+    let queue_drops = sim.stats().queue_drops;
+    let retransmits = sim.stats().retransmits;
     let sim_secs = sim.now().as_secs_f64();
 
     let rec = rec.borrow();
@@ -247,6 +252,8 @@ pub fn run_event_with(scn: &Scenario, round_secs: f64) -> Result<ScenarioRun> {
         final_params,
         diverged: false,
         messages_dropped: dropped,
+        queue_drops,
+        retransmits,
         sim_secs,
     })
 }

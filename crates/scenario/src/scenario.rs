@@ -5,6 +5,7 @@ use data::SyntheticConfig;
 use guanyu::config::ClusterConfig;
 use guanyu::faults::{FaultKind, FaultSchedule};
 use serde::{Deserialize, Serialize};
+use simnet::NetworkModel;
 
 /// One scripted deployment: cluster shape, workload, adversary, and a
 /// round-indexed schedule of environmental faults.
@@ -40,6 +41,12 @@ pub struct Scenario {
     pub server_attack: Option<AttackKind>,
     /// The fault schedule (rounds).
     pub faults: FaultSchedule,
+    /// Physical network the event engine runs over. Defaults to
+    /// [`NetworkModel::Sampled`] (independent per-message delays), which
+    /// is also what scenario files written before this field existed
+    /// deserialize to. The lockstep engine ignores it (it has no network).
+    #[serde(default)]
+    pub network: NetworkModel,
 }
 
 impl Scenario {
@@ -65,6 +72,7 @@ impl Scenario {
             actual_byz_servers: 0,
             server_attack: None,
             faults: FaultSchedule::none(),
+            network: NetworkModel::Sampled,
         }
     }
 
@@ -72,6 +80,13 @@ impl Scenario {
     #[must_use]
     pub fn with_fault(mut self, start: u64, end: u64, kind: FaultKind) -> Self {
         self.faults = self.faults.with(start, end, kind);
+        self
+    }
+
+    /// Selects the physical network model (builder style).
+    #[must_use]
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
         self
     }
 
@@ -181,6 +196,29 @@ impl Scenario {
         })
     }
 
+    /// Whether the network model's parameters are sane for this workload:
+    /// a switched fabric needs finite, positive parameters, an
+    /// oversubscription ratio in `[1, 16]`, and queues of at least 64 KiB
+    /// — a single protocol message (a few tens of KB at these scales)
+    /// must fit in a drop-tail queue or it can never be admitted, which
+    /// would deadlock progress rather than merely congest it.
+    pub fn network_valid(&self) -> bool {
+        match self.network {
+            NetworkModel::Sampled => true,
+            NetworkModel::Switched {
+                oversubscription,
+                queue_bytes,
+                link_bw,
+            } => {
+                oversubscription.is_finite()
+                    && (1.0..=16.0).contains(&oversubscription)
+                    && queue_bytes >= 64 * 1024
+                    && link_bw.is_finite()
+                    && link_bw >= 1e6
+            }
+        }
+    }
+
     /// Whether the scenario stays inside the paper's feasible region: the
     /// declared cluster validates, the actual adversary fits the declared
     /// bounds, and — on each plane — the environmental faults *plus* the
@@ -199,6 +237,7 @@ impl Scenario {
             && self.actual_byz_workers <= self.cluster.byz_workers
             && self.actual_byz_servers <= self.cluster.byz_servers
             && self.indices_valid()
+            && self.network_valid()
             && self.at_risk_servers().len() + self.actual_byz_servers <= self.cluster.byz_servers
             && self.max_workers_down() + self.actual_byz_workers <= self.cluster.byz_workers
     }
@@ -315,6 +354,18 @@ pub fn matrix(seed: u64) -> Vec<Scenario> {
             s.worker_attack = Some(AttackKind::SignFlip { factor: 10.0 });
             s
         },
+        // 9. Emergent congestion: no scripted faults at all — the run goes
+        //    through the switched fabric at 8:1 oversubscription with
+        //    minimum-size queues, so any straggling or loss comes from
+        //    parameter-server incast alone (queue overflows recovered by
+        //    go-back-n).
+        Scenario::baseline("switched_incast", seed.wrapping_add(9)).with_network(
+            NetworkModel::Switched {
+                oversubscription: 8.0,
+                queue_bytes: 64 * 1024,
+                link_bw: 1.25e9,
+            },
+        ),
     ]
 }
 
@@ -458,5 +509,60 @@ mod tests {
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back.name, s.name);
         assert_eq!(back.faults, s.faults);
+    }
+
+    #[test]
+    fn switched_network_roundtrips_and_defaults() {
+        // A switched scenario round-trips with its network intact.
+        let s = matrix(7)
+            .into_iter()
+            .find(|s| s.name == "switched_incast")
+            .expect("matrix has a switched scenario");
+        assert_ne!(s.network, NetworkModel::Sampled);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.network, s.network);
+        // A pre-switched-mode file (no `network` key) deserializes to the
+        // historical sampled model (`#[serde(default)]`).
+        let legacy = {
+            let mut v = serde::Serialize::serialize_value(&Scenario::baseline("old", 3));
+            match &mut v {
+                serde::Value::Object(pairs) => pairs.retain(|(k, _)| k != "network"),
+                _ => panic!("scenario serializes to an object"),
+            }
+            v
+        };
+        let back =
+            <Scenario as serde::Deserialize>::deserialize_value(&legacy).expect("legacy shape");
+        assert_eq!(back.network, NetworkModel::Sampled);
+        assert_eq!(back, Scenario::baseline("old", 3));
+    }
+
+    #[test]
+    fn network_bounds_reject_degenerate_fabrics() {
+        let with = |network| Scenario::baseline("net", 0).with_network(network);
+        assert!(with(NetworkModel::Sampled).within_bounds());
+        let ok = NetworkModel::Switched {
+            oversubscription: 8.0,
+            queue_bytes: 1 << 20,
+            link_bw: 1.25e9,
+        };
+        assert!(with(ok).within_bounds());
+        // Queues too small to admit one protocol message: deadlock risk.
+        let tiny_queue = NetworkModel::Switched {
+            oversubscription: 2.0,
+            queue_bytes: 1024,
+            link_bw: 1.25e9,
+        };
+        assert!(!with(tiny_queue).within_bounds());
+        // Oversubscription outside [1, 16].
+        for bad in [0.5, 64.0, f64::NAN] {
+            let m = NetworkModel::Switched {
+                oversubscription: bad,
+                queue_bytes: 1 << 20,
+                link_bw: 1.25e9,
+            };
+            assert!(!with(m).network_valid(), "oversubscription {bad}");
+        }
     }
 }

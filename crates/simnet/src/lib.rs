@@ -25,6 +25,11 @@
 //!   replay bit-identically (the scenario layer's foundation).
 //! * [`TrafficStats`] — per-node message/byte counters and delivery traces
 //!   used by the throughput figures.
+//! * [`NetworkModel`] / [`SwitchedConfig`] — an optional switched-topology
+//!   mode ([`Simulator::with_switched`]): hosts behind top-of-rack
+//!   switches, finite-bandwidth links with drop-tail queues, and per-flow
+//!   go-back-n retransmission, so parameter-server incast *emerges* from
+//!   contention instead of being scripted. See `DESIGN.md` §10.
 //!
 //! Time is a `u64` nanosecond counter ([`SimTime`]); all delay arithmetic is
 //! done in `f64` seconds then quantised, keeping the event order total and
@@ -65,6 +70,7 @@ mod fault;
 mod sim;
 mod stats;
 mod time;
+mod topo;
 
 pub use adversary::AdversarialSchedule;
 pub use delay::DelayModel;
@@ -72,3 +78,4 @@ pub use fault::{FaultEffect, FaultPlan, FaultRule, FaultVerdict, LinkScope};
 pub use sim::{Context, NodeId, SimNode, Simulator};
 pub use stats::{DeliveryRecord, TrafficStats};
 pub use time::SimTime;
+pub use topo::{NetworkModel, Route, SwitchedConfig, Topology};

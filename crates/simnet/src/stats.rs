@@ -54,6 +54,21 @@ pub struct TrafficStats {
     pub trace: Vec<DeliveryRecord>,
     /// Whether to record the full trace.
     pub tracing: bool,
+    /// Switched mode only: packets lost to drop-tail queue overflow.
+    /// Unlike `messages_dropped`, these are transient — the transport
+    /// retries them; only retry-budget exhaustion surfaces as a drop.
+    pub queue_drops: u64,
+    /// Switched mode only: go-back-n retransmission attempts.
+    pub retransmits: u64,
+    /// Switched mode only: packets discarded at the receiver because an
+    /// earlier packet of their flow was still outstanding (go-back-n
+    /// head-of-line discipline).
+    pub ooo_discards: u64,
+    /// Switched mode only: the largest post-admission backlog observed on
+    /// any single link, in bytes. Never exceeds the configured
+    /// `queue_bytes` — the drop-tail invariant, proptested in
+    /// `tests/switch_fuzz.rs`.
+    pub peak_queue_bytes: u64,
 }
 
 impl TrafficStats {

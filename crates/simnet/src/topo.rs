@@ -1,0 +1,496 @@
+//! Switched-topology network mode: finite-bandwidth links, drop-tail
+//! queues and per-flow go-back-n retransmission.
+//!
+//! The default simulator mode samples an independent transit time per
+//! message, so concurrent flows never contend — the parameter-server
+//! incast that dominates a real ByzSGD deployment (every worker firing a
+//! d-length gradient at every server each round) is invisible. This
+//! module models the deployment fabric instead:
+//!
+//! * hosts hang off top-of-rack switches, [`SwitchedConfig::hosts_per_switch`]
+//!   per rack, racks joined by one core switch;
+//! * every directed link has finite bandwidth and a drop-tail queue of
+//!   [`SwitchedConfig::queue_bytes`]; rack↔core uplinks carry the
+//!   aggregate of a whole rack divided by the oversubscription ratio;
+//! * a message traverses its route hop by hop through the shared event
+//!   queue — FIFO service per link, driven by the virtual clock, so
+//!   concurrent flows *contend* and stragglers emerge from congestion
+//!   rather than being scripted;
+//! * queue overflow drops are retried from the source (go-back-n with a
+//!   fixed timeout); a packet that exhausts its retries is counted in
+//!   `TrafficStats::messages_dropped`, feeding the same recovery path as
+//!   a scripted `FaultPlan` drop.
+//!
+//! Everything is a pure function of integer link state and the event
+//! order, so switched runs replay bit-identically for a given seed — the
+//! queue arithmetic is done in integer nanoseconds precisely so admission
+//! decisions cannot drift between runs. See DESIGN.md §10.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Which physical network a simulation runs over. Serialisable so the
+/// scenario layer can select the model declaratively; the absence of the
+/// field in older scenario files deserialises to [`NetworkModel::Sampled`]
+/// (the historical behaviour).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NetworkModel {
+    /// Independent per-message delay sampling from
+    /// [`crate::DelayModel::grid5000`] — the original model, where links
+    /// never contend.
+    #[default]
+    Sampled,
+    /// The switched two-tier fabric of this module. `link_bw` is the host
+    /// link bandwidth in bytes/second; rack uplinks run at
+    /// `hosts_per_switch · link_bw / oversubscription`; every link queues
+    /// at most `queue_bytes` of backlog.
+    Switched {
+        /// Rack-uplink oversubscription ratio (1.0 = non-blocking fabric,
+        /// 8.0 = a rack's uplink carries 1/8 of its aggregate demand).
+        oversubscription: f64,
+        /// Drop-tail queue capacity per directed link, in bytes.
+        queue_bytes: usize,
+        /// Host link bandwidth in bytes per second.
+        link_bw: f64,
+    },
+}
+
+impl NetworkModel {
+    /// Expands the declarative model into a full [`SwitchedConfig`]
+    /// (grid5000-calibrated secondary parameters); `None` for
+    /// [`NetworkModel::Sampled`].
+    pub fn switched_config(&self) -> Option<SwitchedConfig> {
+        match *self {
+            NetworkModel::Sampled => None,
+            NetworkModel::Switched {
+                oversubscription,
+                queue_bytes,
+                link_bw,
+            } => Some(SwitchedConfig {
+                oversubscription,
+                queue_bytes,
+                link_bw,
+                ..SwitchedConfig::grid5000(oversubscription, queue_bytes)
+            }),
+        }
+    }
+}
+
+/// Full parameter set of the switched fabric. [`SwitchedConfig::grid5000`]
+/// matches the paper's platform (10 Gbps links, ~100 µs cross-rack base
+/// latency); construct directly for other fabrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchedConfig {
+    /// Hosts per top-of-rack switch (≥ 1).
+    pub hosts_per_switch: usize,
+    /// Host link bandwidth, bytes per second (> 0).
+    pub link_bw: f64,
+    /// Rack-uplink oversubscription ratio (≥ 1 shrinks uplinks; values
+    /// below 1 would model an over-provisioned core and are clamped to 1).
+    pub oversubscription: f64,
+    /// Drop-tail queue capacity per directed link, bytes.
+    pub queue_bytes: usize,
+    /// Per-hop propagation latency, seconds.
+    pub hop_latency: f64,
+    /// Go-back-n retransmission timeout, seconds.
+    pub rto: f64,
+    /// Retransmission budget per packet; a packet dropped more than this
+    /// many times is abandoned and counted in `messages_dropped`.
+    pub max_retries: u32,
+}
+
+impl SwitchedConfig {
+    /// A fabric calibrated to the paper's Grid5000 platform: 10 Gbps host
+    /// links, 4 hosts per rack, 25 µs per hop (≈ 100 µs base latency on
+    /// the 4-hop cross-rack path, matching `DelayModel::grid5000`), a
+    /// 2 ms retransmission timeout and 8 retries.
+    pub fn grid5000(oversubscription: f64, queue_bytes: usize) -> Self {
+        SwitchedConfig {
+            hosts_per_switch: 4,
+            link_bw: 10e9 / 8.0,
+            oversubscription,
+            queue_bytes,
+            hop_latency: 25e-6,
+            rto: 2e-3,
+            max_retries: 8,
+        }
+    }
+
+    /// Rack-uplink bandwidth in bytes per second.
+    pub fn uplink_bw(&self) -> f64 {
+        self.hosts_per_switch as f64 * self.link_bw / self.oversubscription.max(1.0)
+    }
+}
+
+/// The static link layout over `hosts` hosts: per-host up/down links to
+/// the rack switch and per-rack up/down links to the core.
+///
+/// Link ids are dense: `[0, hosts)` host uplinks, `[hosts, 2·hosts)` host
+/// downlinks, then `switches` rack uplinks and `switches` rack downlinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Hosts per rack switch.
+    pub hosts_per_switch: usize,
+}
+
+/// A message's path as a short list of directed link ids (2 hops within a
+/// rack, 4 across racks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    links: [usize; 4],
+    len: usize,
+}
+
+impl Route {
+    /// The link ids, in traversal order.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.links[..self.len]
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the route is empty (never, for valid endpoints).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Topology {
+    /// A topology over `hosts` hosts, `hosts_per_switch` per rack.
+    pub fn new(hosts: usize, hosts_per_switch: usize) -> Self {
+        Topology {
+            hosts,
+            hosts_per_switch: hosts_per_switch.max(1),
+        }
+    }
+
+    /// Number of rack switches.
+    pub fn switches(&self) -> usize {
+        self.hosts.div_ceil(self.hosts_per_switch)
+    }
+
+    /// Total number of directed links.
+    pub fn link_count(&self) -> usize {
+        2 * self.hosts + 2 * self.switches()
+    }
+
+    /// The rack a host hangs off.
+    pub fn rack_of(&self, host: usize) -> usize {
+        host / self.hosts_per_switch
+    }
+
+    /// The directed-link route from `from` to `to`: host uplink → (rack
+    /// uplink → rack downlink, when the racks differ) → host downlink.
+    pub fn route(&self, from: usize, to: usize) -> Route {
+        let up = from;
+        let down = self.hosts + to;
+        let (rf, rt) = (self.rack_of(from), self.rack_of(to));
+        if rf == rt {
+            Route {
+                links: [up, down, 0, 0],
+                len: 2,
+            }
+        } else {
+            let rack_up = 2 * self.hosts + rf;
+            let rack_down = 2 * self.hosts + self.switches() + rt;
+            Route {
+                links: [up, rack_up, rack_down, down],
+                len: 4,
+            }
+        }
+    }
+}
+
+/// One directed link's dynamic state. `busy_until` encodes the entire
+/// queue: the backlog at time `t` is `busy_until − t` of transmission
+/// work, i.e. `(busy_until − t) · bytes_per_sec` bytes.
+#[derive(Debug, Clone, Copy)]
+struct LinkState {
+    busy_until: SimTime,
+    bytes_per_sec: f64,
+    /// Queue capacity expressed in nanoseconds of transmission work, so
+    /// admission compares integers and can never drift between replays.
+    queue_ns: u64,
+}
+
+/// A drop-tail admission decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Admission {
+    /// The packet was queued; it exits the link at `exit`, and the queue
+    /// held `backlog_bytes` (including this packet) right after admission.
+    Queued {
+        /// When the packet finishes transmitting on this link.
+        exit: SimTime,
+        /// Post-admission backlog in bytes (peak-occupancy bookkeeping).
+        backlog_bytes: u64,
+    },
+    /// The queue could not hold the packet (drop-tail overflow).
+    Dropped,
+}
+
+/// Go-back-n receiver verdict for a packet reaching its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Receipt {
+    /// In-order: deliver to the node.
+    Deliver,
+    /// Ahead of the expected sequence (an earlier packet of the flow is
+    /// still outstanding): discard, sender retries.
+    OutOfOrder,
+    /// Behind the expected sequence (cannot occur with single-token
+    /// packets; kept as a defensive sink): discard silently.
+    Stale,
+}
+
+/// Per-flow go-back-n state (one flow per ordered `(src, dst)` pair).
+#[derive(Debug, Clone, Default)]
+struct FlowState {
+    /// Next sequence number the sender will stamp.
+    next_seq: u64,
+    /// Next sequence number the receiver will accept.
+    expected: u64,
+    /// Sequence numbers the sender abandoned (retry budget exhausted); the
+    /// receiver skips them, as a real transport learns of a peer's give-up
+    /// from its reset/timeout.
+    given_up: BTreeSet<u64>,
+}
+
+/// The whole switched fabric's dynamic state: topology, per-link queues
+/// and per-flow go-back-n bookkeeping. Owned by the simulator when
+/// switched mode is enabled.
+#[derive(Debug)]
+pub(crate) struct SwitchedNet {
+    cfg: SwitchedConfig,
+    topo: Topology,
+    links: Vec<LinkState>,
+    flows: HashMap<(usize, usize), FlowState>,
+}
+
+impl SwitchedNet {
+    pub(crate) fn new(cfg: SwitchedConfig) -> Self {
+        SwitchedNet {
+            cfg,
+            topo: Topology::new(0, cfg.hosts_per_switch),
+            links: Vec::new(),
+            flows: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn cfg(&self) -> &SwitchedConfig {
+        &self.cfg
+    }
+
+    /// (Re)builds the link table for `hosts` hosts. Called once at the top
+    /// of `Simulator::run`, after the node roster is final.
+    pub(crate) fn ensure(&mut self, hosts: usize) {
+        if self.topo.hosts == hosts && !self.links.is_empty() {
+            return;
+        }
+        self.topo = Topology::new(hosts, self.cfg.hosts_per_switch);
+        let host_bw = self.cfg.link_bw.max(1.0);
+        let rack_bw = self.cfg.uplink_bw().max(1.0);
+        let queue_ns = |bw: f64| SimTime::from_secs_f64(self.cfg.queue_bytes as f64 / bw).0;
+        let link = |bw: f64| LinkState {
+            busy_until: SimTime::ZERO,
+            bytes_per_sec: bw,
+            queue_ns: queue_ns(bw),
+        };
+        self.links.clear();
+        self.links
+            .extend(std::iter::repeat_n(link(host_bw), 2 * self.topo.hosts));
+        self.links
+            .extend(std::iter::repeat_n(link(rack_bw), 2 * self.topo.switches()));
+    }
+
+    pub(crate) fn route(&self, from: usize, to: usize) -> Route {
+        self.topo.route(from, to)
+    }
+
+    /// Stamps the next sender-side sequence number on flow `(from, to)`.
+    pub(crate) fn next_flow_seq(&mut self, from: usize, to: usize) -> u64 {
+        let flow = self.flows.entry((from, to)).or_default();
+        let seq = flow.next_seq;
+        flow.next_seq += 1;
+        seq
+    }
+
+    /// Drop-tail admission at `link` for a `bytes`-long packet arriving at
+    /// `now`. All arithmetic is integer nanoseconds of transmission work,
+    /// so the post-admission backlog provably never exceeds the configured
+    /// queue capacity and decisions replay exactly.
+    pub(crate) fn admit(&mut self, link: usize, bytes: usize, now: SimTime) -> Admission {
+        let st = &mut self.links[link];
+        let backlog_ns = st.busy_until.0.saturating_sub(now.0);
+        let service_ns = SimTime::from_secs_f64(bytes as f64 / st.bytes_per_sec).0;
+        if backlog_ns.saturating_add(service_ns) > st.queue_ns {
+            return Admission::Dropped;
+        }
+        let start = st.busy_until.max(now);
+        let exit = SimTime(start.0.saturating_add(service_ns));
+        st.busy_until = exit;
+        let backlog_bytes = ((exit.0 - now.0) as f64 * st.bytes_per_sec / 1e9) as u64;
+        Admission::Queued {
+            exit,
+            backlog_bytes,
+        }
+    }
+
+    /// Go-back-n receive check for flow `(from, to)`. Advances past any
+    /// abandoned sequence numbers first, then accepts exactly the expected
+    /// one.
+    pub(crate) fn receive(&mut self, from: usize, to: usize, seq: u64) -> Receipt {
+        let flow = self.flows.entry((from, to)).or_default();
+        while flow.given_up.remove(&flow.expected) {
+            flow.expected += 1;
+        }
+        match seq.cmp(&flow.expected) {
+            std::cmp::Ordering::Equal => {
+                flow.expected += 1;
+                Receipt::Deliver
+            }
+            std::cmp::Ordering::Greater => Receipt::OutOfOrder,
+            std::cmp::Ordering::Less => Receipt::Stale,
+        }
+    }
+
+    /// Records that the sender abandoned `seq` on flow `(from, to)` so the
+    /// receiver's expectation can move past it.
+    pub(crate) fn give_up(&mut self, from: usize, to: usize, seq: u64) {
+        let flow = self.flows.entry((from, to)).or_default();
+        if seq >= flow.expected {
+            flow.given_up.insert(seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_within_and_across_racks() {
+        let t = Topology::new(8, 4);
+        assert_eq!(t.switches(), 2);
+        assert_eq!(t.link_count(), 20);
+        // Same rack: host uplink then host downlink.
+        assert_eq!(t.route(0, 3).as_slice(), &[0, 8 + 3]);
+        // Cross rack: up, rack-up, rack-down, down.
+        assert_eq!(t.route(1, 6).as_slice(), &[1, 16, 18 + 1, 8 + 6]);
+        assert_eq!(t.route(1, 6).len(), 4);
+    }
+
+    #[test]
+    fn uneven_last_rack_still_routes() {
+        let t = Topology::new(5, 4);
+        assert_eq!(t.switches(), 2);
+        assert_eq!(t.rack_of(4), 1);
+        assert_eq!(t.route(4, 0).len(), 4);
+    }
+
+    #[test]
+    fn admission_serialises_and_overflows() {
+        let cfg = SwitchedConfig {
+            hosts_per_switch: 4,
+            link_bw: 1e6, // 1 MB/s: 1000 bytes = 1 ms of work
+            oversubscription: 1.0,
+            queue_bytes: 2500,
+            hop_latency: 0.0,
+            rto: 0.01,
+            max_retries: 2,
+        };
+        let mut net = SwitchedNet::new(cfg);
+        net.ensure(4);
+        let now = SimTime::ZERO;
+        // First two packets fit (1000 + 1000 ≤ 2500) and serialise.
+        let a = net.admit(0, 1000, now);
+        let b = net.admit(0, 1000, now);
+        match (a, b) {
+            (Admission::Queued { exit: e1, .. }, Admission::Queued { exit: e2, .. }) => {
+                assert_eq!(e1, SimTime::from_secs_f64(0.001));
+                assert_eq!(e2, SimTime::from_secs_f64(0.002));
+            }
+            other => panic!("expected two admissions, got {other:?}"),
+        }
+        // Third overflows (2000 + 1000 > 2500).
+        assert_eq!(net.admit(0, 1000, now), Admission::Dropped);
+        // After the backlog drains, the link admits again.
+        assert!(matches!(
+            net.admit(0, 1000, SimTime::from_secs_f64(0.002)),
+            Admission::Queued { .. }
+        ));
+    }
+
+    #[test]
+    fn backlog_never_exceeds_queue_bytes() {
+        let cfg = SwitchedConfig::grid5000(1.0, 10_000);
+        let mut net = SwitchedNet::new(cfg);
+        net.ensure(4);
+        let mut peak = 0u64;
+        for i in 0..1000 {
+            let now = SimTime(i); // arrivals 1 ns apart: heavy contention
+            if let Admission::Queued { backlog_bytes, .. } = net.admit(0, 900, now) {
+                peak = peak.max(backlog_bytes);
+            }
+        }
+        assert!(peak > 0);
+        assert!(peak <= 10_000, "backlog {peak} exceeded the queue");
+    }
+
+    #[test]
+    fn go_back_n_delivers_in_order_and_skips_abandoned() {
+        let mut net = SwitchedNet::new(SwitchedConfig::grid5000(1.0, 1 << 20));
+        net.ensure(2);
+        assert_eq!(net.next_flow_seq(0, 1), 0);
+        assert_eq!(net.next_flow_seq(0, 1), 1);
+        assert_eq!(net.next_flow_seq(0, 1), 2);
+        // Seq 1 arrives first: out of order (0 outstanding).
+        assert_eq!(net.receive(0, 1, 1), Receipt::OutOfOrder);
+        assert_eq!(net.receive(0, 1, 0), Receipt::Deliver);
+        assert_eq!(net.receive(0, 1, 1), Receipt::Deliver);
+        // Sender abandons 2; the next packet of the flow skips it.
+        net.give_up(0, 1, 2);
+        assert_eq!(net.next_flow_seq(0, 1), 3);
+        assert_eq!(net.receive(0, 1, 3), Receipt::Deliver);
+        // Flows are independent.
+        assert_eq!(net.next_flow_seq(1, 0), 0);
+    }
+
+    #[test]
+    fn network_model_expands_to_grid5000_fabric() {
+        assert_eq!(NetworkModel::default(), NetworkModel::Sampled);
+        assert!(NetworkModel::Sampled.switched_config().is_none());
+        let cfg = NetworkModel::Switched {
+            oversubscription: 4.0,
+            queue_bytes: 1 << 18,
+            link_bw: 1.25e9,
+        }
+        .switched_config()
+        .unwrap();
+        assert_eq!(cfg.oversubscription, 4.0);
+        assert_eq!(cfg.queue_bytes, 1 << 18);
+        assert_eq!(cfg.hosts_per_switch, 4);
+        // 4 hosts × 1.25 GB/s at 4:1 → uplink back at host speed.
+        assert!((cfg.uplink_bw() - 1.25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = NetworkModel::Switched {
+            oversubscription: 2.0,
+            queue_bytes: 65536,
+            link_bw: 1e9,
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: NetworkModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        let back: NetworkModel = serde_json::from_str("\"Sampled\"").unwrap();
+        assert_eq!(back, NetworkModel::Sampled);
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests for the switched-topology mode: queue-capacity
+//! bounds, per-flow ordering, delivery accounting and go-back-n
+//! convergence under arbitrary fabrics, burst shapes and drop patterns.
+
+use proptest::prelude::*;
+use simnet::{Context, DelayModel, NodeId, SimNode, SimTime, Simulator, SwitchedConfig};
+
+/// Every node fires a numbered burst at one sink (parameter-server
+/// incast); the sink records `(sender, payload)` in arrival order.
+struct Incast {
+    burst: usize,
+    bytes: usize,
+    seen: std::rc::Rc<std::cell::RefCell<Vec<(usize, u32)>>>,
+}
+
+impl SimNode<u32> for Incast {
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        if ctx.me() != NodeId(0) {
+            for i in 0..self.burst {
+                ctx.send(NodeId(0), i as u32, self.bytes);
+            }
+        }
+    }
+    fn on_message(&mut self, from: NodeId, msg: u32, _ctx: &mut Context<'_, u32>) {
+        self.seen.borrow_mut().push((from.0, msg));
+    }
+}
+
+type Seen = std::rc::Rc<std::cell::RefCell<Vec<(usize, u32)>>>;
+
+fn run_incast(
+    seed: u64,
+    nodes: usize,
+    burst: usize,
+    bytes: usize,
+    cfg: SwitchedConfig,
+) -> (Simulator<u32>, u64, Seen) {
+    let seen: Seen = Default::default();
+    let mut sim = Simulator::new(seed, DelayModel::Fixed { seconds: 0.01 }).with_switched(cfg);
+    for _ in 0..nodes {
+        sim.add_node(Box::new(Incast {
+            burst,
+            bytes,
+            seen: std::rc::Rc::clone(&seen),
+        }));
+    }
+    let delivered = sim.run();
+    (sim, delivered, seen)
+}
+
+/// A fabric whose queues are `queue_bytes` and whose uplinks are squeezed
+/// by `oversub`, over slow 1 MB/s host links so contention is easy to
+/// provoke with small payloads.
+fn tight_fabric(oversub: f64, queue_bytes: usize) -> SwitchedConfig {
+    SwitchedConfig {
+        hosts_per_switch: 4,
+        link_bw: 1e6,
+        oversubscription: oversub,
+        queue_bytes,
+        hop_latency: 25e-6,
+        rto: 2e-3,
+        max_retries: 8,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Drop-tail invariant: no link's backlog ever exceeds the configured
+    /// queue capacity, for any fabric and burst shape.
+    #[test]
+    fn queue_occupancy_never_exceeds_capacity(
+        seed in 0u64..1000,
+        nodes in 2usize..8,
+        burst in 1usize..8,
+        bytes in 100usize..4000,
+        oversub_x2 in 2u32..17,
+        queue in 4000usize..20000,
+    ) {
+        let cfg = tight_fabric(f64::from(oversub_x2) / 2.0, queue);
+        let (sim, _, _) = run_incast(seed, nodes, burst, bytes, cfg);
+        prop_assert!(
+            sim.stats().peak_queue_bytes <= queue as u64,
+            "peak {} exceeded queue {}",
+            sim.stats().peak_queue_bytes,
+            queue
+        );
+    }
+
+    /// Accounting: every packet handed to the fabric is eventually either
+    /// delivered or counted in `messages_dropped` — queue overflows never
+    /// silently vanish a message.
+    #[test]
+    fn every_packet_delivered_or_counted_dropped(
+        seed in 0u64..1000,
+        nodes in 2usize..8,
+        burst in 1usize..8,
+        bytes in 100usize..4000,
+        queue in 4000usize..20000,
+    ) {
+        let cfg = tight_fabric(8.0, queue);
+        let (sim, delivered, _) = run_incast(seed, nodes, burst, bytes, cfg);
+        let s = sim.stats();
+        prop_assert_eq!(s.messages_sent, (nodes as u64 - 1) * burst as u64);
+        prop_assert_eq!(delivered + s.messages_dropped, s.messages_sent);
+        prop_assert_eq!(s.messages_delivered, delivered);
+    }
+
+    /// No reordering within a flow: each sender's payloads arrive at the
+    /// sink in strictly increasing order (abandoned packets excised), for
+    /// any drop pattern the fabric produces.
+    #[test]
+    fn flows_never_reorder(
+        seed in 0u64..1000,
+        nodes in 3usize..8,
+        burst in 2usize..10,
+        bytes in 500usize..4000,
+        queue in 4000usize..16000,
+        retries in 0u32..6,
+    ) {
+        let cfg = SwitchedConfig { max_retries: retries, ..tight_fabric(8.0, queue) };
+        let (_, _, seen) = run_incast(seed, nodes, burst, bytes, cfg);
+        let mut last: std::collections::HashMap<usize, u32> = Default::default();
+        for &(sender, payload) in seen.borrow().iter() {
+            if let Some(&prev) = last.get(&sender) {
+                prop_assert!(
+                    payload > prev,
+                    "flow {sender} delivered {payload} after {prev}"
+                );
+            }
+            last.insert(sender, payload);
+        }
+    }
+
+    /// Go-back-n converges for any drop pattern: with a generous retry
+    /// budget the fabric eventually delivers *everything*, no matter how
+    /// tight the queues or how hard the incast.
+    #[test]
+    fn go_back_n_converges_with_enough_retries(
+        seed in 0u64..1000,
+        nodes in 2usize..7,
+        burst in 1usize..8,
+        bytes in 100usize..3000,
+    ) {
+        // Queues hold ~2 packets: heavy transient loss, but every packet
+        // fits individually, so retries always make progress. The retry
+        // horizon (max_retries · rto) must cover the worst-case drain of
+        // the whole incast through the 0.125 MB/s oversubscribed uplink:
+        // 6·7·3000 B ≈ 1 s. 1024 retries · 2 ms = 2 s clears it.
+        let cfg = SwitchedConfig {
+            max_retries: 1024,
+            ..tight_fabric(8.0, 2 * 3000)
+        };
+        let (sim, delivered, _) = run_incast(seed, nodes, burst, bytes, cfg);
+        let s = sim.stats();
+        prop_assert_eq!(s.messages_dropped, 0, "retries must absorb all losses");
+        prop_assert_eq!(delivered, s.messages_sent);
+    }
+
+    /// Switched runs replay bit-identically: same seed and fabric, same
+    /// delivery trace, drop counts and retransmission counts.
+    #[test]
+    fn switched_runs_are_deterministic(
+        seed in 0u64..1000,
+        nodes in 2usize..7,
+        burst in 1usize..6,
+        bytes in 100usize..4000,
+        queue in 4000usize..16000,
+    ) {
+        let run = || {
+            let cfg = tight_fabric(4.0, queue);
+            let mut sim = Simulator::new(seed, DelayModel::Fixed { seconds: 0.01 })
+                .with_switched(cfg)
+                .with_tracing();
+            for _ in 0..nodes {
+                sim.add_node(Box::new(Incast { burst, bytes, seen: Default::default() }));
+            }
+            sim.run();
+            let s = sim.stats();
+            (
+                s.trace.clone(),
+                s.queue_drops,
+                s.retransmits,
+                s.ooo_discards,
+                s.messages_dropped,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Causality still holds through the fabric: delivery at or after the
+    /// send time, and the simulated clock never runs backwards.
+    #[test]
+    fn no_time_travel_through_switches(
+        seed in 0u64..1000,
+        nodes in 2usize..7,
+        bytes in 100usize..4000,
+    ) {
+        let cfg = tight_fabric(8.0, 12000);
+        let mut sim = Simulator::new(seed, DelayModel::Fixed { seconds: 0.01 })
+            .with_switched(cfg)
+            .with_tracing();
+        for _ in 0..nodes {
+            sim.add_node(Box::new(Incast { burst: 3, bytes, seen: Default::default() }));
+        }
+        sim.run();
+        let mut prev = SimTime::ZERO;
+        for rec in &sim.stats().trace {
+            prop_assert!(rec.delivered >= rec.sent);
+            prop_assert!(rec.delivered >= prev);
+            prev = rec.delivered;
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Incast storm: emergent congestion on the switched fabric.
+//!
+//! The paper's deployments run over real cluster networks, where the
+//! parameter-server traffic pattern — every worker firing its gradient at
+//! every server at once — is a textbook incast. This example runs the
+//! same fault-free training job over the two-tier switched-topology model
+//! (DESIGN.md §10) at increasing core oversubscription. Nothing is
+//! scripted: as the uplinks thin out, drop-tail queues overflow, the
+//! go-back-n transport retransmits, rounds stretch, and the stragglers
+//! the protocol was designed to tolerate *emerge* from contention alone.
+//!
+//! Run with: `cargo run --release --example incast_storm`
+
+use data::{synthetic_cifar, SyntheticConfig};
+use guanyu::config::ClusterConfig;
+use guanyu::cost::CostModel;
+use guanyu::protocol::{build_simulation_net, ProtocolConfig};
+use nn::{models, LrSchedule};
+use simnet::NetworkModel;
+
+fn run(oversubscription: f64) {
+    let train = synthetic_cifar(&SyntheticConfig {
+        train: 256,
+        test: 0,
+        side: 8,
+        ..Default::default()
+    })
+    .expect("dataset")
+    .0;
+
+    let cfg = ProtocolConfig {
+        cluster: ClusterConfig::new(6, 1, 18, 5).expect("valid"),
+        max_steps: 10,
+        lr: LrSchedule::constant(0.05),
+        server_gar: aggregation::GarKind::MultiKrum,
+        cost: CostModel::guanyu(),
+        batch_size: 16,
+        actual_byz_workers: 0,
+        worker_attack: None,
+        actual_byz_servers: 0,
+        server_attack: None,
+        worker_attack_windows: Vec::new(),
+        server_attack_windows: Vec::new(),
+        recovery: true,
+    };
+
+    let network = NetworkModel::Switched {
+        oversubscription,
+        queue_bytes: 64 * 1024,
+        link_bw: 1.25e9,
+    };
+    let (mut sim, rec) = build_simulation_net(
+        &cfg,
+        |rng| models::small_cnn(8, 2, 10, rng),
+        train,
+        7,
+        &network,
+    )
+    .expect("simulation");
+    sim.run();
+
+    let stats = sim.stats();
+    let secs = sim.now().as_secs_f64();
+    let finishers = rec
+        .borrow()
+        .servers_finishing(cfg.max_steps.saturating_sub(1))
+        .len();
+    println!(
+        "{oversubscription:>4}:1  {:>8.1} rounds/s  {:>6} overflows  {:>6} retransmits  \
+         {:>3} permanent drops  {finishers}/6 finish",
+        cfg.max_steps as f64 / secs,
+        stats.queue_drops,
+        stats.retransmits,
+        stats.messages_dropped,
+    );
+}
+
+fn main() {
+    println!("fault-free training over a two-tier switched fabric, 64 KiB queues:");
+    for oversubscription in [1.0, 2.0, 4.0, 8.0] {
+        run(oversubscription);
+    }
+    println!("\nevery straggler above emerged from queue contention — none were scripted");
+}

@@ -102,6 +102,30 @@ fn scenario_combined_stress() {
     run_scenario(&scenario_named("combined_stress"));
 }
 
+#[test]
+fn scenario_switched_incast() {
+    run_scenario(&scenario_named("switched_incast"));
+}
+
+/// The switched fabric must *matter*: at 8:1 over minimum queues the
+/// event trace differs from the same scenario on the sampled network
+/// (guards against `NetworkModel::Switched` silently degrading to the
+/// delay sampler).
+#[test]
+fn switched_fabric_changes_the_event_trace() {
+    let switched = scenario_named("switched_incast");
+    let mut sampled = switched.clone();
+    sampled.network = scenario::NetworkModel::Sampled;
+    let a = scenario::run_event(&switched).unwrap();
+    let b = scenario::run_event(&sampled).unwrap();
+    assert!(a.queue_drops > 0, "the matrix incast must contend");
+    assert_ne!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "the switched fabric left no trace"
+    );
+}
+
 /// The fault schedule must *matter*: a scenario's trace differs from the
 /// fault-free baseline's at the same seed (guards against the hooks
 /// silently becoming no-ops).

@@ -13,10 +13,10 @@ use data::{synthetic_cifar, SyntheticConfig};
 use guanyu::config::ClusterConfig;
 use guanyu::cost::CostModel;
 use guanyu::experiment::{build_trainer, ExperimentConfig, SystemKind};
-use guanyu::protocol::{build_simulation, ProtocolConfig};
+use guanyu::protocol::{build_simulation, build_simulation_net, ProtocolConfig};
 use guanyu_runtime::{run_cluster, RuntimeConfig, TransportKind};
 use nn::{models, LrSchedule, Sequential};
-use simnet::DelayModel;
+use simnet::{DelayModel, NetworkModel};
 use tensor::{Tensor, TensorRng};
 
 fn builder(rng: &mut TensorRng) -> Sequential {
@@ -84,6 +84,60 @@ fn event_driven_engine_is_bit_reproducible() {
         params
     };
     assert_bit_identical("event-driven", &run(), &run());
+}
+
+/// The event engine over the *switched* fabric: congestion, drop-tail
+/// overflows, go-back-n retransmissions and backoff jitter are all pure
+/// functions of the seed, so even a heavily contended run (8:1 over
+/// minimum queues) replays to bit-identical final parameters — and the
+/// congestion counters agree too.
+#[test]
+fn switched_event_engine_is_bit_reproducible() {
+    let run = || {
+        let cfg = ProtocolConfig {
+            cluster: ClusterConfig::new(6, 1, 9, 2).unwrap(),
+            max_steps: 6,
+            lr: LrSchedule::constant(0.05),
+            server_gar: aggregation::GarKind::MultiKrum,
+            cost: CostModel::guanyu(),
+            batch_size: 8,
+            actual_byz_workers: 0,
+            worker_attack: None,
+            actual_byz_servers: 0,
+            server_attack: None,
+            worker_attack_windows: Vec::new(),
+            server_attack_windows: Vec::new(),
+            recovery: true,
+        };
+        let train = synthetic_cifar(&SyntheticConfig {
+            train: 64,
+            test: 0,
+            side: 8,
+            seed: 77,
+            ..Default::default()
+        })
+        .unwrap()
+        .0;
+        let network = NetworkModel::Switched {
+            oversubscription: 8.0,
+            queue_bytes: 64 * 1024,
+            link_bw: 1.25e9,
+        };
+        let (mut sim, rec) = build_simulation_net(&cfg, builder, train, 77, &network).unwrap();
+        sim.run();
+        let counters = (
+            sim.stats().queue_drops,
+            sim.stats().retransmits,
+            sim.stats().ooo_discards,
+            sim.stats().peak_queue_bytes,
+        );
+        let params = rec.borrow().final_params();
+        (params, counters)
+    };
+    let (a, b) = (run(), run());
+    assert_bit_identical("switched-event", &a.0, &b.0);
+    assert_eq!(a.1, b.1, "switched congestion counters differ between runs");
+    assert!(a.1 .0 > 0, "the 8:1 fabric must actually contend");
 }
 
 /// The threaded engine runs real OS threads, so quorum *membership* is
