@@ -19,18 +19,29 @@
 //!    received with `M` again — the contraction step that stops honest
 //!    replicas from drifting apart.
 //!
-//! # Two execution engines
+//! # One state machine, three engines
 //!
-//! * [`lockstep`] — a round-structured engine with *exact* adversarial
-//!   omniscience (the attacker sees every honest gradient before forging)
-//!   and a [`cost::CostModel`]-driven simulated clock. Used for the long
+//! The protocol roles — honest server, honest worker, Byzantine server,
+//! Byzantine worker — are implemented exactly once, as the sans-I/O
+//! state machines of [`node`] (typed messages in, [`node::Output`]s
+//! out). Three engines drive them at different levels of physical
+//! fidelity (DESIGN.md §3 and §11):
+//!
+//! * [`lockstep`] — a round-structured driver with a
+//!   [`cost::CostModel`]-driven simulated clock. Used for the long
 //!   convergence experiments (paper Figs. 3 and 4) because it is fast.
-//! * [`protocol`] — the same roles implemented as event-driven
+//! * [`protocol`] — the machines wrapped in event-driven
 //!   [`simnet::SimNode`]s over the asynchronous network simulator, with
-//!   per-message delays, quorum discards and step buffering. Used for the
-//!   protocol-correctness tests and the throughput/latency measurements.
+//!   per-message delays, quorum discards and step buffering. Used for
+//!   the protocol-correctness tests and throughput/latency measurements.
+//! * `guanyu-runtime` (separate crate) — one OS thread per machine over
+//!   real transports (in-process channels or TCP loopback).
 //!
-//! The two engines share [`config::ClusterConfig`] (which enforces the
+//! In [`node::QuorumMode::Planned`] quorum membership is a pure function
+//! of the [`faults::FaultSchedule`] and the step number, so all three
+//! engines produce **bit-identical** per-round traces for the same
+//! configuration — the cross-engine contract the scenario layer checks.
+//! The engines share [`config::ClusterConfig`] (which enforces the
 //! paper's bounds `n ≥ 3f + 3`, `2f + 3 ≤ q ≤ n − f`) and the aggregation
 //! rules from the `aggregation` crate.
 //!
@@ -61,6 +72,7 @@ pub mod experiment;
 pub mod faults;
 pub mod lockstep;
 pub mod metrics;
+pub mod node;
 pub mod protocol;
 pub mod shard;
 pub mod trace;

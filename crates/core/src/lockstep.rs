@@ -1,30 +1,36 @@
 //! The round-structured ("lockstep") execution engine.
 //!
-//! This engine runs the GuanYu protocol (and the vanilla baselines) one
+//! This engine drives the sans-I/O node machines of [`crate::node`] one
 //! synchronised round at a time, which makes the long convergence
-//! experiments of the paper's §5 fast while preserving the protocol's
-//! semantics exactly where they matter:
+//! experiments of the paper's §5 fast. All protocol logic — quorum
+//! membership, GAR folds, the contraction exchange, crash-recovery
+//! adoption, Byzantine forging — lives in the machines; this module only
+//! routes their messages synchronously, answers their gradient requests
+//! with real forward/backward passes over per-worker data shards, and
+//! advances a [`CostModel`]-driven simulated clock.
 //!
-//! * **quorums under asynchrony** — per-message network delays are sampled
-//!   from the configured [`DelayModel`]; each receiver folds the `q`
-//!   *earliest* messages, and actually-Byzantine messages arrive first
-//!   (worst case: the adversary's covert network is arbitrarily fast, §2);
-//! * **exact adversarial omniscience** — Byzantine forgeries see every
-//!   honest vector of the round before choosing their own (§2.2), including
-//!   per-receiver equivocation;
-//! * **a simulated clock** — every round charges compute, conversion,
-//!   aggregation and transfer time from the [`CostModel`], reproducing the
-//!   time axis of Figs. 3(b)/(d).
+//! The machines run in [`QuorumMode::Planned`]: fold membership is a pure
+//! function of the [`FaultSchedule`] and the step number, so a lockstep
+//! run is bit-identical to the event-driven ([`crate::protocol`]) and
+//! threaded (`guanyu-runtime`) engines driving the same machines in the
+//! same mode — message timing moves the clock, never the quorums.
 //!
-//! The declared Byzantine counts (`ClusterConfig::byz_*`, which size the
-//! quorums) are independent from the **actual** number of attackers
-//! ([`LockstepConfig::actual_byz_workers`] etc.): the paper's Fig. 3 runs
-//! GuanYu *declared* `f̄ = 5, f = 1` in a fault-free environment, while
-//! Fig. 4 adds real attackers. The event-driven twin of this engine lives
-//! in [`crate::protocol`].
+//! Attack semantics under the shared machines: Byzantine workers are
+//! omniscient *within the round* (honest workers tap their gradients to
+//! the attacker, who forges per-receiver only after seeing every planned
+//! gradient of the step), and Byzantine servers cascade reactively from
+//! the honest exchange traffic of the previous round — the same adversary
+//! every engine now faces. The declared Byzantine counts
+//! (`ClusterConfig::byz_*`, which size the quorums) stay independent from
+//! the **actual** number of attackers ([`LockstepConfig::actual_byz_workers`]
+//! etc.): the paper's Fig. 3 runs GuanYu *declared* `f̄ = 5, f = 1` in a
+//! fault-free environment, while Fig. 4 adds real attackers.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 use aggregation::{CoordinateWiseMedian, Gar, GarKind};
-use byzantine::{Attack, AttackKind, AttackView};
+use byzantine::AttackKind;
 use data::{partition_dataset, Batcher, Dataset, Partition};
 use nn::{softmax_cross_entropy, LrSchedule, Sequential};
 use simnet::DelayModel;
@@ -36,8 +42,16 @@ use crate::contraction::{alignment_snapshot, AlignmentRecord};
 use crate::cost::CostModel;
 use crate::faults::FaultSchedule;
 use crate::metrics::{evaluate, RunResult, TrainingRecord};
-use crate::trace::{DigestHasher, RoundDigest, Trace};
+use crate::node::{
+    self, ByzServerMachine, ByzWorkerMachine, MachineConfig, MachineSpec, NodeMsg, Output,
+    QuorumMode, ServerMachine, StepRecord, WorkerMachine,
+};
+use crate::trace::Trace;
 use crate::{GuanYuError, Result};
+
+/// Initial plan horizon; the trainer doubles it whenever a run outgrows
+/// the current [`MachineSpec`] (callers do not declare a step budget).
+const INITIAL_HORIZON: u64 = 64;
 
 /// Full configuration of one lockstep run.
 #[derive(Debug, Clone)]
@@ -67,7 +81,8 @@ pub struct LockstepConfig {
     pub actual_byz_servers: usize,
     /// Their attack.
     pub server_attack: Option<AttackKind>,
-    /// Physical link delays (quorum ordering + time axis).
+    /// Physical link delays (time axis only — planned quorums are
+    /// delay-independent).
     pub delay: DelayModel,
     /// Compute/serialisation cost model (time axis).
     pub cost: CostModel,
@@ -82,8 +97,7 @@ pub struct LockstepConfig {
     /// (DESIGN.md §6). Empty = the fault-free environment of Fig. 3.
     pub faults: FaultSchedule,
     /// Record a per-round [`Trace`] digest (model hashes, quorum
-    /// compositions, message counts). Costs one hash pass over the server
-    /// parameters per round; off by default.
+    /// compositions, message counts). Off by default.
     pub trace_enabled: bool,
 }
 
@@ -140,8 +154,31 @@ impl LockstepConfig {
             trace_enabled: false,
         }
     }
+
+    fn machine_config(&self, horizon: u64) -> MachineConfig {
+        MachineConfig {
+            cluster: self.cluster,
+            max_steps: horizon,
+            lr: self.lr,
+            server_gar: self.server_gar,
+            seed: self.seed,
+            actual_byz_workers: self.actual_byz_workers,
+            worker_attack: self.worker_attack,
+            actual_byz_servers: self.actual_byz_servers,
+            server_attack: self.server_attack,
+            worker_attack_windows: self.faults.worker_attack_windows(),
+            server_attack_windows: self.faults.server_attack_windows(),
+            exchange_enabled: self.exchange_enabled,
+            robust_worker_fold: self.robust_worker_fold,
+            recovery: true,
+            mode: QuorumMode::Planned,
+            faults: self.faults.clone(),
+        }
+    }
 }
 
+/// Per-worker training substrate: the machine asks for a gradient, this
+/// answers it.
 struct WorkerState {
     model: Sequential,
     batcher: Batcher,
@@ -153,13 +190,23 @@ struct WorkerState {
 /// The lockstep trainer. See the module docs for semantics.
 pub struct LockstepTrainer {
     cfg: LockstepConfig,
-    /// Parameter vectors of the honest servers (the Byzantine servers'
-    /// "state" is whatever the adversary forges each round).
+    spec: Arc<MachineSpec>,
+    servers: Vec<ServerMachine>,
+    byz_servers: Vec<ByzServerMachine>,
+    workers: Vec<WorkerMachine>,
+    byz_workers: Vec<ByzWorkerMachine>,
+    worker_data: Vec<WorkerState>,
+    /// In-flight machine messages `(from, to, msg)`, delivered in order.
+    queue: VecDeque<(usize, usize, NodeMsg)>,
+    /// Gradient requests `(honest worker index, step, folded model)` the
+    /// driver has not answered yet — answered once the round reaches them.
+    pending: Vec<(usize, u64, Tensor)>,
+    /// Every completed step, across all servers (feeds the trace).
+    records: Vec<StepRecord>,
+    /// Mirror of the honest server machines' parameters (public API).
     server_params: Vec<Tensor>,
-    workers: Vec<WorkerState>,
-    worker_attacks: Vec<Box<dyn Attack>>,
-    server_attacks: Vec<Box<dyn Attack>>,
-    grad_gar: Box<dyn Gar>,
+    /// Evaluation fold (the paper's Equation 1 global model) — not a
+    /// protocol fold.
     model_fold: CoordinateWiseMedian,
     eval_model: Sequential,
     /// Full training set, kept for inspection (workers hold their shards).
@@ -172,6 +219,7 @@ pub struct LockstepTrainer {
     trace: Trace,
     dim: usize,
     diverged: bool,
+    started: bool,
     last_phase_time: f64,
 }
 
@@ -190,31 +238,7 @@ impl LockstepTrainer {
         train: Dataset,
         test: Dataset,
     ) -> Result<Self> {
-        if cfg.cluster.servers > 1 {
-            cfg.cluster.validate()?;
-        }
-        if cfg.actual_byz_workers > cfg.cluster.byz_workers {
-            return Err(GuanYuError::InvalidConfig(format!(
-                "{} actual Byzantine workers exceed the declared {}",
-                cfg.actual_byz_workers, cfg.cluster.byz_workers
-            )));
-        }
-        if cfg.actual_byz_servers > cfg.cluster.byz_servers {
-            return Err(GuanYuError::InvalidConfig(format!(
-                "{} actual Byzantine servers exceed the declared {}",
-                cfg.actual_byz_servers, cfg.cluster.byz_servers
-            )));
-        }
-        if cfg.actual_byz_workers > 0 && cfg.worker_attack.is_none() {
-            return Err(GuanYuError::InvalidConfig(
-                "actual Byzantine workers configured without a worker attack".into(),
-            ));
-        }
-        if cfg.actual_byz_servers > 0 && cfg.server_attack.is_none() {
-            return Err(GuanYuError::InvalidConfig(
-                "actual Byzantine servers configured without a server attack".into(),
-            ));
-        }
+        let spec = MachineSpec::new(cfg.machine_config(INITIAL_HORIZON))?;
 
         let mut rng = TensorRng::new(cfg.seed);
         let mut init_rng = rng.fork(0xA11);
@@ -222,11 +246,27 @@ impl LockstepTrainer {
         let theta0 = template.param_vector();
         let dim = theta0.len();
 
-        // Honest servers all start from θ₀.
+        // Honest servers all start from θ₀ (clones share one buffer).
         let honest_servers = cfg.cluster.servers - cfg.actual_byz_servers;
-        let server_params = vec![theta0; honest_servers];
+        let mut servers = Vec::with_capacity(honest_servers);
+        for s in 0..honest_servers {
+            let gar = cfg.server_gar.build(cfg.cluster.krum_f()).map_err(|e| {
+                GuanYuError::InvalidConfig(format!("server GAR construction failed: {e}"))
+            })?;
+            servers.push(ServerMachine::new(
+                Arc::clone(&spec),
+                s,
+                theta0.clone(),
+                0,
+                gar,
+            ));
+        }
+        let byz_servers: Vec<ByzServerMachine> = (honest_servers..cfg.cluster.servers)
+            .map(|s| ByzServerMachine::new(Arc::clone(&spec), s, dim))
+            .collect();
 
-        // Honest workers: own model instance, own batch stream, own shard.
+        // Honest workers: own machine, own model instance, own batch
+        // stream, own shard.
         let honest_workers = cfg.cluster.workers - cfg.actual_byz_workers;
         let shards: Vec<Dataset> = match cfg.partition {
             // IID keeps the paper's semantics exactly: every worker samples
@@ -235,44 +275,39 @@ impl LockstepTrainer {
             other => partition_dataset(&train, honest_workers, other, cfg.seed)?,
         };
         let mut workers = Vec::with_capacity(honest_workers);
+        let mut worker_data = Vec::with_capacity(honest_workers);
         for (w, shard) in shards.into_iter().enumerate() {
             let mut worker_rng = rng.fork(0xB0B + w as u64);
-            workers.push(WorkerState {
+            workers.push(WorkerMachine::new(
+                Arc::clone(&spec),
+                cfg.cluster.servers + w,
+                dim,
+            ));
+            worker_data.push(WorkerState {
                 model: model_builder(&mut worker_rng),
                 batcher: Batcher::new(shard.len(), cfg.batch_size, cfg.seed ^ (w as u64) << 17),
                 shard,
             });
         }
-
-        let worker_attacks: Vec<Box<dyn Attack>> = (0..cfg.actual_byz_workers)
-            .map(|i| {
-                cfg.worker_attack
-                    .expect("validated above")
-                    .build(cfg.seed ^ 0xEB1 ^ (i as u64) << 8)
-            })
+        let byz_workers: Vec<ByzWorkerMachine> = (honest_workers..cfg.cluster.workers)
+            .map(|w| ByzWorkerMachine::new(Arc::clone(&spec), w))
             .collect();
-        let server_attacks: Vec<Box<dyn Attack>> = (0..cfg.actual_byz_servers)
-            .map(|i| {
-                cfg.server_attack
-                    .expect("validated above")
-                    .build(cfg.seed ^ 0x5E6 ^ (i as u64) << 8)
-            })
-            .collect();
-
-        let krum_f = cfg.cluster.krum_f();
-        let grad_gar = cfg.server_gar.build(krum_f).map_err(|e| {
-            GuanYuError::InvalidConfig(format!("server GAR construction failed: {e}"))
-        })?;
 
         let eval_model = model_builder(&mut rng.fork(0xE7A1));
+        let server_params = vec![theta0; honest_servers];
 
         Ok(LockstepTrainer {
             cfg,
-            server_params,
+            spec,
+            servers,
+            byz_servers,
             workers,
-            worker_attacks,
-            server_attacks,
-            grad_gar,
+            byz_workers,
+            worker_data,
+            queue: VecDeque::new(),
+            pending: Vec::new(),
+            records: Vec::new(),
+            server_params,
             model_fold: CoordinateWiseMedian::new(),
             eval_model,
             train,
@@ -284,6 +319,7 @@ impl LockstepTrainer {
             trace: Trace::new(),
             dim,
             diverged: false,
+            started: false,
             last_phase_time: 0.0,
         })
     }
@@ -332,8 +368,10 @@ impl LockstepTrainer {
         &self.alignment
     }
 
-    /// The per-round digest trace (empty unless
-    /// [`LockstepConfig::trace_enabled`]).
+    /// The canonical digest trace (empty unless
+    /// [`LockstepConfig::trace_enabled`]): one [`crate::trace::RoundDigest`]
+    /// per completed step, assembled with [`node::assemble_trace`] — the
+    /// same folding every engine uses.
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
@@ -351,9 +389,11 @@ impl LockstepTrainer {
     }
 
     /// Restores a previous [`Checkpoint`] into this trainer: server models,
-    /// step counter and simulated clock are replaced. The trainer's RNG
-    /// streams continue (they are not rewound), so a resumed run is
-    /// statistically — not bitwise — identical to an uninterrupted one.
+    /// step counter and simulated clock are replaced, the machines rewound
+    /// to the checkpointed step, and in-flight messages dropped. The
+    /// trainer's RNG and batch streams continue (they are not rewound), so
+    /// a resumed run is statistically — not bitwise — identical to an
+    /// uninterrupted one.
     ///
     /// # Errors
     ///
@@ -375,80 +415,237 @@ impl LockstepTrainer {
                 self.dim
             )));
         }
+        self.ensure_horizon(ckpt.step)?;
+        for (s, machine) in self.servers.iter_mut().enumerate() {
+            machine.restore(ckpt.server_params[s].clone(), ckpt.step);
+        }
+        for machine in &mut self.workers {
+            machine.restore(ckpt.step);
+        }
+        self.queue.clear();
+        self.pending.clear();
         self.server_params = ckpt.server_params.clone();
         self.step = ckpt.step;
         self.sim_time = ckpt.sim_time_secs;
         self.diverged = false;
+        // Re-announcing happens on the next step(): on_start makes every
+        // live server rebroadcast its (restored) model.
+        self.started = false;
         Ok(())
     }
 
-    /// `k` earliest of the listed senders under the sampled delays, plus
-    /// the time the quorum completes (the k-th order statistic). Delays
-    /// are stretched by the round's [`FaultSchedule::delay_stretch`]
-    /// (`factor`, `extra`) and each sender's `per_sender` extra (straggler
-    /// bursts) before ordering, so environmental faults reorder quorums
-    /// exactly as they would reorder arrivals. Returns *sender ids*, not
-    /// positions.
-    fn quorum_delays(
+    /// Doubles the plan horizon until it covers `round + 1` and swaps the
+    /// re-built [`MachineSpec`] into every machine. The planner's forward
+    /// induction makes the extended tables a strict prefix-extension, so
+    /// in-flight state stays valid.
+    fn ensure_horizon(&mut self, round: u64) -> Result<()> {
+        let mut horizon = self.spec.cfg.max_steps;
+        if round + 1 < horizon {
+            return Ok(());
+        }
+        while round + 1 >= horizon {
+            horizon = horizon.saturating_mul(2);
+        }
+        let spec = MachineSpec::new(self.cfg.machine_config(horizon))?;
+        for m in &mut self.servers {
+            m.respec(Arc::clone(&spec));
+        }
+        for m in &mut self.byz_servers {
+            m.respec(Arc::clone(&spec));
+        }
+        for m in &mut self.workers {
+            m.respec(Arc::clone(&spec));
+        }
+        for m in &mut self.byz_workers {
+            m.respec(Arc::clone(&spec));
+        }
+        self.spec = spec;
+        Ok(())
+    }
+
+    /// Files one machine's outputs: sends into the queue, gradient
+    /// requests into the pending list, step records into the trace log.
+    fn route(&mut self, src: usize, out: Vec<Output>) {
+        for o in out {
+            match o {
+                Output::Send { to, msg } => self.queue.push_back((src, to, msg)),
+                Output::NeedGradient { step, model } => {
+                    self.pending
+                        .push((src - self.cfg.cluster.servers, step, model));
+                }
+                Output::Step(r) => self.records.push(r),
+                Output::Recovered { .. } => {}
+            }
+        }
+    }
+
+    /// Delivers queued messages until the network is silent.
+    fn drain_queue(&mut self) {
+        while let Some((from, to, msg)) = self.queue.pop_front() {
+            let ns = self.cfg.cluster.servers;
+            let hs = self.servers.len();
+            let hw = self.workers.len();
+            let mut out = Vec::new();
+            if to < hs {
+                self.servers[to].on_message(from, &msg, &mut out);
+            } else if to < ns {
+                self.byz_servers[to - hs].on_message(from, &msg, &mut out);
+            } else if to < ns + hw {
+                self.workers[to - ns].on_message(from, &msg, &mut out);
+            } else {
+                self.byz_workers[to - ns - hw].on_message(from, &msg, &mut out);
+            }
+            self.route(to, out);
+        }
+    }
+
+    /// Answers every pending gradient request for steps the round has
+    /// reached. Returns whether anything was answered. A non-finite
+    /// gradient (loss overflow) marks the run diverged.
+    fn fulfill_pending(&mut self, round: u64) -> Result<bool> {
+        let mut fulfilled = false;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].1 > round {
+                i += 1;
+                continue;
+            }
+            let (w, step, view) = self.pending.remove(i);
+            let grad = self.compute_gradient(w, &view)?;
+            if !grad.is_finite() {
+                // Loss overflow: the run is past saving (only happens to
+                // the unprotected baselines under attack).
+                self.diverged = true;
+                return Ok(true);
+            }
+            let mut out = Vec::new();
+            self.workers[w].gradient_ready(step, grad, &mut out);
+            self.route(self.cfg.cluster.servers + w, out);
+            fulfilled = true;
+        }
+        Ok(fulfilled)
+    }
+
+    /// One forward/backward pass on worker `w`'s shard at the folded view.
+    fn compute_gradient(&mut self, w: usize, view: &Tensor) -> Result<Tensor> {
+        let worker = &mut self.worker_data[w];
+        worker.model.set_param_vector(view)?;
+        worker.model.zero_grads();
+        let (x, labels) = worker.batcher.next_batch(&worker.shard)?;
+        let logits = worker.model.forward(&x, true)?;
+        let (_, dlogits) = softmax_cross_entropy(&logits, &labels)?;
+        worker.model.backward(&dlogits)?;
+        Ok(worker.model.grad_vector())
+    }
+
+    /// Slowest sampled arrival among `senders` under the round's delay
+    /// stretch and per-sender extras (planned quorums wait for *all* their
+    /// members; Byzantine members are excluded by the callers — the covert
+    /// channel is instantaneous).
+    fn slowest_arrival(
         &mut self,
         senders: &[usize],
-        k: usize,
         bytes: usize,
         stretch: (f64, f64),
         per_sender: impl Fn(usize) -> f64,
-    ) -> (Vec<usize>, f64) {
+    ) -> f64 {
         let (factor, extra) = stretch;
-        let mut delays: Vec<(f64, usize)> = senders
-            .iter()
-            .map(|&id| {
-                let physical = self.cfg.delay.sample(bytes, &mut self.rng);
-                (physical * factor + extra + per_sender(id), id)
-            })
-            .collect();
-        delays.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let k = k.min(senders.len());
-        let selected: Vec<usize> = delays[..k].iter().map(|&(_, i)| i).collect();
-        let completion = delays.get(k.saturating_sub(1)).map_or(0.0, |&(d, _)| d);
-        (selected, completion)
-    }
-
-    /// Hashes the current honest-server state into the trace, closing the
-    /// round that just incremented `self.step`.
-    fn record_round_digest(&mut self, quorum_hash: u64, messages: u64) {
-        let mut mh = DigestHasher::new();
-        for p in &self.server_params {
-            mh.write_tensor(p);
+        let mut worst = 0.0f64;
+        for &id in senders {
+            let physical = self.cfg.delay.sample(bytes, &mut self.rng);
+            worst = worst.max(physical * factor + extra + per_sender(id));
         }
-        self.trace.push(RoundDigest {
-            step: self.step.saturating_sub(1),
-            model_hash: mh.finish(),
-            quorum_hash,
-            messages,
-        });
+        worst
     }
 
-    /// Whether a fault-degraded quorum would hand the fold to the
-    /// adversary. The real protocol never folds fewer than `q ≥ 2f + 3`
-    /// messages, so forgeries are always a strict minority; when faults
-    /// shrink the reachable honest set below that structure, a receiver
-    /// refuses any multiset in which forgeries are not outnumbered (every
-    /// robust rule's breakdown point is 1/2) and sits the phase out —
-    /// exactly like a receiver whose quorum never fills.
-    fn fold_unsafe(honest: usize, forged: usize) -> bool {
-        honest == 0 || forged * 2 >= honest + forged
+    /// Charges the round's critical path to the simulated clock: the three
+    /// phases' slowest planned arrival plus the [`CostModel`]'s compute,
+    /// conversion, aggregation and update costs. Membership comes from the
+    /// plan, so the clock is an *observer* of the protocol, never an input
+    /// to it.
+    fn round_phase_time(&mut self, t: u64) -> f64 {
+        let cfg = self.cfg.clone();
+        let spec = Arc::clone(&self.spec);
+        let fs = &cfg.faults;
+        let stretch = fs.delay_stretch(t);
+        let d = self.dim;
+        let bytes = CostModel::message_bytes(d);
+        let ns = cfg.cluster.servers;
+        let hs = self.servers.len();
+        let hw = self.workers.len();
+        let q_model = cfg.cluster.server_quorum;
+        let q_grad = cfg.cluster.worker_quorum;
+        let mut phase = 0.0f64;
+
+        // Phase 1: model broadcasts into every computing worker's view.
+        let model_honest: Vec<usize> = spec
+            .model_plan(t)
+            .iter()
+            .copied()
+            .filter(|&s| s < hs)
+            .collect();
+        let mut worst = 0.0f64;
+        for _ in 0..spec.computing(t).len() {
+            worst = worst.max(self.slowest_arrival(&model_honest, bytes, stretch, |_| 0.0));
+        }
+        phase += worst + cfg.cost.convert_secs(d);
+        if cfg.robust_worker_fold {
+            phase += cfg.cost.median_secs(q_model, d);
+        }
+
+        // Phase 2: gradient compute, transfer into every active server.
+        phase += cfg.cost.gradient_secs(cfg.batch_size, d) + cfg.cost.convert_secs(d);
+        let active: Vec<usize> = (0..hs).filter(|&s| spec.active(t, s)).collect();
+        let mut worst = 0.0f64;
+        for &s in &active {
+            let grad_honest: Vec<usize> = spec
+                .grad_plan(t, s)
+                .into_iter()
+                .filter(|&w| w >= ns && w < ns + hw)
+                .collect();
+            worst = worst.max(self.slowest_arrival(&grad_honest, bytes, stretch, |w| {
+                fs.straggler_extra(t, w - ns)
+            }));
+        }
+        phase += worst + cfg.cost.convert_secs(d);
+        phase += match cfg.server_gar {
+            GarKind::MultiKrum | GarKind::Krum | GarKind::Bulyan => {
+                cfg.cost.multikrum_secs(q_grad, d)
+            }
+            GarKind::Median | GarKind::TrimmedMean | GarKind::Meamed | GarKind::GeometricMedian => {
+                cfg.cost.median_secs(q_grad, d)
+            }
+            GarKind::Average => cfg.cost.average_secs(q_grad, d),
+        };
+        phase += cfg.cost.update_secs(d);
+
+        // Phase 3: the contraction exchange among active servers.
+        if cfg.exchange_enabled && hs > 1 {
+            let mut worst = 0.0f64;
+            for &s in &active {
+                let peers: Vec<usize> = spec
+                    .exchange_plan(t, s)
+                    .into_iter()
+                    .filter(|&p| p < hs && p != s)
+                    .collect();
+                worst = worst.max(self.slowest_arrival(&peers, bytes, stretch, |_| 0.0));
+            }
+            phase += worst + cfg.cost.median_secs(q_model, d);
+        }
+        phase
     }
 
-    /// Runs one full protocol step (all three phases). Advances the
+    /// Runs one full protocol round (all three phases). Advances the
     /// simulated clock by the round's critical path.
     ///
     /// Faults scheduled for this round ([`LockstepConfig::faults`]) apply
-    /// throughout: crashed nodes neither send nor update (their state
-    /// freezes until recovery), partitions cut honest exchange links,
-    /// delay spikes and straggler bursts reorder quorums, and attack
-    /// windows gate the configured forgeries (outside a window the
-    /// Byzantine nodes stay mute). Environmental faults never touch the
-    /// adversary's covert channel: forgeries always arrive — the paper's
-    /// worst case.
+    /// through the machines' planned membership: crashed servers neither
+    /// fold nor update until they fast-forward by adopting a newer quorate
+    /// exchange on recovery (the same state transfer the event engine
+    /// performs), partitions cut honest exchange links, delay spikes and
+    /// straggler bursts stretch the clock, and attack windows gate the
+    /// configured forgeries. Environmental faults never touch the
+    /// adversary's covert channel — the paper's worst case.
     ///
     /// # Errors
     ///
@@ -461,256 +658,54 @@ impl LockstepTrainer {
             self.diverged = true;
             self.step += 1;
             self.sim_time += self.last_phase_time.max(1e-6);
-            if self.cfg.trace_enabled {
-                self.record_round_digest(0, 0);
-            }
             return Ok(());
         }
-        let cfg = self.cfg.clone();
-        let fs = &cfg.faults;
-        let t = self.step;
-        let tracing = cfg.trace_enabled;
-        let stretch = fs.delay_stretch(t);
-        let d = self.dim;
-        let bytes = CostModel::message_bytes(d);
-        let mut phase_time = 0.0f64;
-        let mut quorum_h = DigestHasher::new();
-        let mut messages = 0u64;
-
-        let n_honest_srv = self.server_params.len();
-        let n_honest_wrk = self.workers.len();
-        let up_servers: Vec<usize> = (0..n_honest_srv)
-            .filter(|&s| !fs.server_down(t, s))
-            .collect();
-        let up_workers: Vec<usize> = (0..n_honest_wrk)
-            .filter(|&w| !fs.worker_down(t, w))
-            .collect();
-        let byz_srv = if fs.server_attack_active(t) {
-            cfg.actual_byz_servers
-        } else {
-            0
-        };
-        let byz_wrk = if fs.worker_attack_active(t) {
-            cfg.actual_byz_workers
-        } else {
-            0
-        };
-
-        // ---- Phase 1: servers broadcast models; workers fold with M. ----
-        let q_model = cfg.cluster.server_quorum;
-        let mut worker_views: Vec<Option<Tensor>> = vec![None; n_honest_wrk];
-        let mut worst_quorum_time = 0.0f64;
-        for &w in &up_workers {
-            // Byzantine servers' messages arrive instantly (covert network)
-            // and are always inside the quorum: the worst case. A mute
-            // attacker contributes nothing, so the quorum fills with honest
-            // messages instead (the receiver just waits longer).
-            let mut forged_msgs: Vec<Tensor> = Vec::new();
-            if byz_srv > 0 {
-                let honest_ref = self.server_params.clone();
-                for attack in &mut self.server_attacks {
-                    let view = AttackView::new(&honest_ref, t, w);
-                    if let Some(forged) = attack.forge(&view) {
-                        forged_msgs.push(forged);
-                    }
-                }
+        let round = self.step;
+        self.ensure_horizon(round)?;
+        if !self.started {
+            self.started = true;
+            for s in 0..self.servers.len() {
+                let mut out = Vec::new();
+                self.servers[s].on_start(&mut out);
+                self.route(s, out);
             }
-            let honest_needed = q_model
-                .saturating_sub(forged_msgs.len())
-                .min(up_servers.len());
-            let (selected, completion) =
-                self.quorum_delays(&up_servers, honest_needed, bytes, stretch, |_| 0.0);
-            worst_quorum_time = worst_quorum_time.max(completion);
-            if tracing {
-                quorum_h.write_indices(&selected);
-                quorum_h.write_u64(forged_msgs.len() as u64);
-                messages += (selected.len() + forged_msgs.len()) as u64;
+            for b in 0..self.byz_servers.len() {
+                let mut out = Vec::new();
+                self.byz_servers[b].on_start(&mut out);
+                self.route(self.servers.len() + b, out);
             }
-            if Self::fold_unsafe(selected.len(), forged_msgs.len()) {
-                // Isolated (every server crashed) or attacker-dominated
-                // quorum: the worker sits this round out.
-                continue;
+            for w in 0..self.workers.len() {
+                let mut out = Vec::new();
+                self.workers[w].on_start(&mut out);
+                self.route(self.cfg.cluster.servers + w, out);
             }
-            let mut received: Vec<Tensor> = selected
-                .iter()
-                .map(|&i| self.server_params[i].clone())
-                .collect();
-            received.extend(forged_msgs);
-            let view = if cfg.robust_worker_fold {
-                self.model_fold.aggregate(&received)?
-            } else {
-                // vanilla: trust the (single) server
-                received
-                    .first()
-                    .cloned()
-                    .ok_or_else(|| GuanYuError::InvalidConfig("no server model".into()))?
-            };
-            worker_views[w] = Some(view);
         }
-        phase_time += worst_quorum_time;
-        if cfg.robust_worker_fold {
-            phase_time += cfg.cost.convert_secs(d) + cfg.cost.median_secs(q_model, d);
-        } else {
-            phase_time += cfg.cost.convert_secs(d);
-        }
-
-        // ---- Phase 2: workers compute gradients; servers fold with F. ----
-        let lr = cfg.lr.at(t);
-        let mut honest_grads: Vec<Tensor> = Vec::with_capacity(up_workers.len());
-        let mut grad_senders: Vec<usize> = Vec::with_capacity(up_workers.len());
-        for (w, slot) in worker_views.iter_mut().enumerate() {
-            let Some(view) = slot.take() else {
-                continue; // crashed or isolated this round
-            };
-            let worker = &mut self.workers[w];
-            worker.model.set_param_vector(&view)?;
-            worker.model.zero_grads();
-            let (x, labels) = worker.batcher.next_batch(&worker.shard)?;
-            let logits = worker.model.forward(&x, true)?;
-            let (_, dlogits) = softmax_cross_entropy(&logits, &labels)?;
-            worker.model.backward(&dlogits)?;
-            let g = worker.model.grad_vector();
-            if !g.is_finite() {
-                // Loss overflow: the run is past saving (only happens to the
-                // unprotected baselines under attack).
-                self.diverged = true;
+        // Round fixpoint: deliver everything in flight, answer gradient
+        // requests up to this round, repeat. Requests for later steps stay
+        // pending — that is the lockstep barrier.
+        loop {
+            self.drain_queue();
+            if !self.fulfill_pending(round)? {
+                break;
+            }
+            if self.diverged {
                 self.step += 1;
                 self.sim_time += self.last_phase_time.max(1e-6);
-                if tracing {
-                    self.record_round_digest(0, 0);
-                }
                 return Ok(());
             }
-            honest_grads.push(g);
-            grad_senders.push(w);
-        }
-        phase_time += cfg.cost.gradient_secs(cfg.batch_size, d) + cfg.cost.convert_secs(d);
-
-        let q_grad = cfg.cluster.worker_quorum;
-        let grad_positions: Vec<usize> = (0..honest_grads.len()).collect();
-        let mut new_params: Vec<Tensor> = Vec::with_capacity(n_honest_srv);
-        let mut worst_grad_quorum = 0.0f64;
-        for s in 0..n_honest_srv {
-            if fs.server_down(t, s) {
-                // Crashed server: parameters freeze until recovery.
-                new_params.push(self.server_params[s].clone());
-                continue;
-            }
-            let mut forged_msgs: Vec<Tensor> = Vec::new();
-            if byz_wrk > 0 && !honest_grads.is_empty() {
-                for attack in &mut self.worker_attacks {
-                    let view = AttackView::new(&honest_grads, t, s);
-                    if let Some(forged) = attack.forge(&view) {
-                        forged_msgs.push(forged);
-                    }
-                }
-            }
-            let honest_needed = q_grad
-                .saturating_sub(forged_msgs.len())
-                .min(honest_grads.len());
-            let (selected, completion) =
-                self.quorum_delays(&grad_positions, honest_needed, bytes, stretch, |pos| {
-                    fs.straggler_extra(t, grad_senders[pos])
-                });
-            worst_grad_quorum = worst_grad_quorum.max(completion);
-            if tracing {
-                let sel_workers: Vec<usize> = selected.iter().map(|&p| grad_senders[p]).collect();
-                quorum_h.write_indices(&sel_workers);
-                quorum_h.write_u64(forged_msgs.len() as u64);
-                messages += (selected.len() + forged_msgs.len()) as u64;
-            }
-            if Self::fold_unsafe(selected.len(), forged_msgs.len()) {
-                // No honest gradient reached this server (all workers
-                // down) or forgeries dominate the degraded quorum: the
-                // round is a no-op for it.
-                new_params.push(self.server_params[s].clone());
-                continue;
-            }
-            let mut received: Vec<Tensor> =
-                selected.iter().map(|&i| honest_grads[i].clone()).collect();
-            received.extend(forged_msgs);
-            let agg = self.grad_gar.aggregate(&received)?;
-            let mut theta = self.server_params[s].clone();
-            theta.axpy(-lr, &agg)?;
-            new_params.push(theta);
-        }
-        phase_time += worst_grad_quorum + cfg.cost.convert_secs(d);
-        phase_time += match cfg.server_gar {
-            GarKind::MultiKrum | GarKind::Krum | GarKind::Bulyan => {
-                cfg.cost.multikrum_secs(q_grad, d)
-            }
-            GarKind::Median | GarKind::TrimmedMean | GarKind::Meamed | GarKind::GeometricMedian => {
-                cfg.cost.median_secs(q_grad, d)
-            }
-            GarKind::Average => cfg.cost.average_secs(q_grad, d),
-        };
-        phase_time += cfg.cost.update_secs(d);
-
-        // ---- Phase 3: servers exchange models and fold with M. ----
-        if cfg.exchange_enabled && n_honest_srv > 1 {
-            let mut folded: Vec<Tensor> = Vec::with_capacity(n_honest_srv);
-            let mut worst_exchange = 0.0f64;
-            for s in 0..n_honest_srv {
-                if fs.server_down(t, s) {
-                    folded.push(new_params[s].clone());
-                    continue;
-                }
-                // A server's own model is available instantly; it waits for
-                // q − 1 more (minus the always-first Byzantine ones; mute
-                // Byzantine servers are replaced by more honest peers).
-                let mut forged_msgs: Vec<Tensor> = Vec::new();
-                if byz_srv > 0 {
-                    for attack in &mut self.server_attacks {
-                        let view = AttackView::new(&new_params, t, s);
-                        if let Some(forged) = attack.forge(&view) {
-                            forged_msgs.push(forged);
-                        }
-                    }
-                }
-                // Reachable peers: up, and on this side of any partition.
-                // Forgeries are exempt — the covert channel does not
-                // partition.
-                let peers: Vec<usize> = (0..n_honest_srv)
-                    .filter(|&i| i != s && !fs.server_down(t, i) && fs.exchange_allowed(t, s, i))
-                    .collect();
-                let honest_needed = q_model
-                    .saturating_sub(1)
-                    .saturating_sub(forged_msgs.len())
-                    .min(peers.len());
-                let (sel, completion) =
-                    self.quorum_delays(&peers, honest_needed, bytes, stretch, |_| 0.0);
-                worst_exchange = worst_exchange.max(completion);
-                if tracing {
-                    quorum_h.write_indices(&sel);
-                    quorum_h.write_u64(forged_msgs.len() as u64);
-                    messages += (1 + sel.len() + forged_msgs.len()) as u64;
-                }
-                if Self::fold_unsafe(1 + sel.len(), forged_msgs.len()) {
-                    // A partitioned-off server must not fold a multiset
-                    // the forgeries dominate; it keeps its local update.
-                    folded.push(new_params[s].clone());
-                    continue;
-                }
-                let mut received = vec![new_params[s].clone()];
-                received.extend(sel.iter().map(|&i| new_params[i].clone()));
-                received.extend(forged_msgs);
-                folded.push(self.model_fold.aggregate(&received)?);
-            }
-            self.server_params = folded;
-            phase_time += worst_exchange + cfg.cost.median_secs(q_model, d);
-        } else {
-            self.server_params = new_params;
         }
 
+        self.server_params = self.servers.iter().map(|m| m.params().clone()).collect();
+        let phase_time = self.round_phase_time(round);
         self.step += 1;
         self.sim_time += phase_time;
         self.last_phase_time = phase_time;
-        if tracing {
-            self.record_round_digest(quorum_h.finish(), messages);
+        if self.cfg.trace_enabled {
+            self.trace = node::assemble_trace(&self.records);
         }
 
-        if cfg.alignment_every > 0
-            && self.step.is_multiple_of(cfg.alignment_every)
+        if self.cfg.alignment_every > 0
+            && self.step.is_multiple_of(self.cfg.alignment_every)
             && self.server_params.len() >= 3
         {
             if let Some(rec) = alignment_snapshot(self.step, &self.server_params)? {
@@ -1018,8 +1013,8 @@ mod tests {
         );
         // Live servers keep making progress meanwhile.
         assert_ne!(t.honest_server_params()[1], frozen);
-        // After recovery the exchange median pulls the stale replica back
-        // toward the live cluster.
+        // After recovery the adoption fast-forward pulls the stale replica
+        // back to the live cluster.
         let gap_before = t.honest_server_params()[0]
             .distance(&t.honest_server_params()[1])
             .unwrap();
@@ -1033,6 +1028,32 @@ mod tests {
             gap_after < gap_before,
             "recovery should re-converge: {gap_before} -> {gap_after}"
         );
+    }
+
+    #[test]
+    fn crashed_server_adopts_peer_state_on_recovery() {
+        use crate::faults::{FaultKind, FaultSchedule};
+        // The recovery fast-forward is protocol-level state transfer: once
+        // the crash window closes and the peers' next exchange reaches the
+        // stale replica, it adopts the quorum median and re-joins the
+        // honest cluster (within the per-server-quorum heterogeneity the
+        // contraction keeps bounded).
+        let (train, test) = tiny_data();
+        let mut cfg = LockstepConfig::guanyu(small_cluster(), 27);
+        cfg.faults = FaultSchedule::none().with(1, 3, FaultKind::CrashServers { servers: vec![0] });
+        let mut t = LockstepTrainer::new(cfg, builder, train, test).unwrap();
+        for _ in 0..5 {
+            t.step().unwrap();
+        }
+        let params = t.honest_server_params();
+        let scale = params[1].norm().max(1e-6);
+        for p in &params[1..] {
+            let gap = params[0].distance(p).unwrap();
+            assert!(
+                gap < 0.2 * scale,
+                "recovered replica must re-join the cluster: gap {gap} vs norm {scale}"
+            );
+        }
     }
 
     #[test]

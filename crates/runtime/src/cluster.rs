@@ -1,19 +1,35 @@
 //! The threaded cluster: one OS thread per node, frames over a pluggable
 //! [`Transport`] — in-process channels or real TCP loopback sockets.
+//!
+//! Every node thread is a thin driver over the sans-I/O machines of
+//! [`guanyu::node`]: it decodes wire frames into [`NodeMsg`]s, feeds them
+//! to its machine, and puts the machine's outbound messages back on the
+//! wire. All protocol logic — quorum ledgers, GAR folds, the contraction
+//! exchange, crash adoption, Byzantine forging — lives in the shared
+//! machines, so the threaded runtime cannot drift from the lockstep and
+//! event-driven engines (DESIGN.md §11). What remains here is exactly the
+//! driver contract: transport I/O, thread lifecycle, the gradient data
+//! pipeline (forward/backward at the machine's folded model), and the
+//! shard-plane scatter/gather (DESIGN.md §9).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::soak::SoakCounters;
 use std::time::{Duration, Instant};
 
-use aggregation::kernel::{self, Exec};
-use aggregation::{CoordinateWiseMedian, Gar, GarKind};
-use byzantine::{Attack, AttackKind, AttackView};
+use aggregation::GarKind;
+use byzantine::AttackKind;
 use data::{Batcher, Dataset};
 use guanyu::config::ClusterConfig;
-use guanyu::shard::{ShardGather, ShardPlan};
-use guanyu::trace::{positional_digest, DigestHasher, RoundDigest, Trace};
+use guanyu::faults::FaultSchedule;
+use guanyu::node::{
+    self, ByzServerMachine, ByzWorkerMachine, MachineConfig, MachineSpec, NodeMsg, Output,
+    QuorumMode, ServerMachine, StepRecord, WorkerMachine,
+};
+use guanyu::shard::ShardPlan;
+use guanyu::trace::Trace;
 use guanyu::GuanYuError;
 use nn::{softmax_cross_entropy, LrSchedule, Sequential};
 use tensor::{Tensor, TensorRng};
@@ -61,8 +77,15 @@ pub struct RuntimeConfig {
     pub seed: u64,
     /// Actually-Byzantine workers (last worker ids).
     pub actual_byz_workers: usize,
-    /// Their attack (forged from observed models).
+    /// Their attack (forged after observing the honest gradients of the
+    /// step through the omniscience taps — the same adversary every
+    /// engine faces).
     pub worker_attack: Option<AttackKind>,
+    /// Actually-Byzantine servers (last server ids of each shard group).
+    pub actual_byz_servers: usize,
+    /// Their attack (a reactive cascade forged from the previous round's
+    /// observed honest exchanges).
+    pub server_attack: Option<AttackKind>,
     /// Safety net: abort the run after this much wall time.
     pub wall_timeout: Duration,
     /// The interconnect the frames travel over.
@@ -82,6 +105,20 @@ pub struct RuntimeConfig {
     /// stalling forever. Off by default — on a lossless run every quorum
     /// eventually fills and skipping would forfeit rounds.
     pub recovery: bool,
+    /// Quorum membership mode of the node machines. [`QuorumMode::Arrival`]
+    /// (the default) folds the first `q` arrivals sender-sorted — the
+    /// classic timing-dependent threaded run. [`QuorumMode::Planned`]
+    /// derives membership purely from `faults` and the step number, making
+    /// the trace bit-identical to the lockstep and event-driven engines on
+    /// the same config (the scenario runner's cross-engine mode).
+    pub mode: QuorumMode,
+    /// Round-indexed fault schedule, meaningful in planned mode: crash
+    /// windows freeze machines (they discard while down and fast-forward
+    /// by adoption on recovery), partitions cut exchange links, attack
+    /// windows gate forging. Timing faults (delay spikes, stragglers)
+    /// shape no planned membership and are ignored by the wall-clock
+    /// engine.
+    pub faults: FaultSchedule,
 }
 
 impl RuntimeConfig {
@@ -96,10 +133,35 @@ impl RuntimeConfig {
             seed: 0,
             actual_byz_workers: 0,
             worker_attack: None,
+            actual_byz_servers: 0,
+            server_attack: None,
             wall_timeout: Duration::from_secs(60),
             transport: TransportKind::Channel,
             shards: 1,
             recovery: false,
+            mode: QuorumMode::Arrival,
+            faults: FaultSchedule::none(),
+        }
+    }
+
+    fn machine_config(&self) -> MachineConfig {
+        MachineConfig {
+            cluster: self.cluster,
+            max_steps: self.max_steps,
+            lr: self.lr,
+            server_gar: self.server_gar,
+            seed: self.seed,
+            actual_byz_workers: self.actual_byz_workers,
+            worker_attack: self.worker_attack,
+            actual_byz_servers: self.actual_byz_servers,
+            server_attack: self.server_attack,
+            worker_attack_windows: self.faults.worker_attack_windows(),
+            server_attack_windows: self.faults.server_attack_windows(),
+            exchange_enabled: true,
+            robust_worker_fold: true,
+            recovery: self.recovery,
+            mode: self.mode,
+            faults: self.faults.clone(),
         }
     }
 }
@@ -132,13 +194,20 @@ impl Default for RunHooks {
 pub struct ClusterReport {
     /// Final parameter vector of each honest server, in server order.
     pub final_params: Vec<Tensor>,
+    /// The step each honest server reached, in server order. On a clean
+    /// run every entry is `max_steps`; under planned crash windows a
+    /// server that could not adopt back in reports where it froze.
+    pub final_steps: Vec<u64>,
     /// Total model updates across honest servers.
     pub updates: u64,
     /// Wall-clock duration of the run.
     pub wall_secs: f64,
-    /// Per-round digests of the run (see [`run_trace`]): at full quorums
-    /// this is a deterministic function of seed and config, identical
-    /// across transports.
+    /// Per-round digests of the run, assembled with
+    /// [`node::assemble_trace`] — the same canonical folding every engine
+    /// uses. In [`QuorumMode::Planned`] the trace is a deterministic
+    /// function of seed + config + faults, bit-identical across transports
+    /// *and* across engines; in arrival mode only full-quorum runs are
+    /// timing-independent.
     pub trace: Trace,
     /// Sends that found their peer already disconnected, summed over all
     /// node endpoints. A clean full-quorum run drops nothing — the
@@ -153,84 +222,6 @@ pub struct ClusterReport {
     /// snapshots the same pool at shutdown, so the report keeps the
     /// latest (field-wise largest) snapshot rather than a sum.
     pub pool: PoolStats,
-}
-
-/// One server's per-round record, kept locally (no cross-thread
-/// coordination on the hot path) and folded into a [`Trace`] after the
-/// join.
-#[derive(Debug, Default, Clone)]
-struct ServerLog {
-    rounds: Vec<ServerRound>,
-}
-
-#[derive(Debug, Clone)]
-struct ServerRound {
-    /// Positional digest of this server's (shard of the) parameters after
-    /// the round, keyed by absolute coordinate index so per-shard digests
-    /// XOR together into exactly the full-vector digest.
-    model_digest: u64,
-    /// Gradient-quorum senders, canonical (sorted) order.
-    grad_quorum: Vec<usize>,
-    /// Exchange-quorum senders, canonical order (empty for 1 server).
-    exch_quorum: Vec<usize>,
-}
-
-/// Folds per-server round logs into one [`Trace`] over *logical replicas*:
-/// round `r`'s digest covers, for each of the `replicas` logical servers,
-/// the XOR of its shard groups' positional model digests (== the digest of
-/// the merged full vector), the quorum compositions translated from raw
-/// node ids back to logical ids, and the number of messages folded. When
-/// every shard group of a replica saw the same translated quorums (always
-/// true at full quorums) the composition is recorded once — so a sharded
-/// run's trace is byte-identical to the unsharded run's. The format
-/// matches the deterministic engines' *shape* but not their physics —
-/// compare threaded traces only with threaded traces (channel vs TCP), as
-/// DESIGN.md §6 prescribes for cross-engine fingerprints.
-fn assemble_trace(logs: &[ServerLog], shards: usize, replicas: usize) -> Trace {
-    let mut trace = Trace::new();
-    let rounds = logs.iter().map(|l| l.rounds.len()).min().unwrap_or(0);
-    let plane = shards * replicas;
-    // Raw wire id -> logical id: server `g*n + r` is replica `r`, worker
-    // `plane + j` is logical `n + j`.
-    let translate = |raw: usize| {
-        if raw < plane {
-            raw % replicas
-        } else {
-            replicas + (raw - plane)
-        }
-    };
-    for step in 0..rounds {
-        let mut model = DigestHasher::new();
-        let mut quorum = DigestHasher::new();
-        let mut messages = 0u64;
-        for r in 0..replicas {
-            let mut digest = 0u64;
-            let mut groups: Vec<(Vec<usize>, Vec<usize>)> = Vec::with_capacity(shards);
-            for g in 0..shards {
-                let round = &logs[g * replicas + r].rounds[step];
-                digest ^= round.model_digest;
-                groups.push((
-                    round.grad_quorum.iter().map(|&x| translate(x)).collect(),
-                    round.exch_quorum.iter().map(|&x| translate(x)).collect(),
-                ));
-            }
-            model.write_u64(digest);
-            let collapsed = groups.iter().all(|pair| pair == &groups[0]);
-            let record = if collapsed { &groups[..1] } else { &groups[..] };
-            for (grad, exch) in record {
-                quorum.write_indices(grad);
-                quorum.write_indices(exch);
-                messages += (grad.len() + exch.len()) as u64;
-            }
-        }
-        trace.push(RoundDigest {
-            step: step as u64,
-            model_hash: model.finish(),
-            quorum_hash: quorum.finish(),
-            messages,
-        });
-    }
-    trace
 }
 
 const POLL: Duration = Duration::from_millis(20);
@@ -262,53 +253,164 @@ fn fold_pool(acc: &mut PoolStats, snap: PoolStats) {
     acc.high_water = acc.high_water.max(snap.high_water);
 }
 
-/// Announces a server's model to the workers. The tensor clone is a
-/// refcount bump and the frame is encoded once for all targets.
-fn broadcast_model(net: &mut dyn Transport, worker_ids: &[usize], step: u64, params: &Tensor) {
-    net.broadcast(
-        worker_ids,
-        &WireMsg::Model {
-            step,
+/// Raw-wire ↔ logical id translation for one node's outbound plane. The
+/// machines speak logical ids (servers `0..n`, workers `n..n+n̄`); the wire
+/// speaks raw ids (shard group `g`'s replicas at `g*n..(g+1)*n`, workers
+/// after the whole server plane). Server-targeted sends stay inside the
+/// sender's own shard group — shard groups never talk across.
+#[derive(Debug, Clone, Copy)]
+struct IdMap {
+    /// Shard group whose server replicas this node addresses.
+    group: usize,
+    /// Logical server replicas per group (`cluster.servers`).
+    replicas: usize,
+    /// Total server plane width (`shards * replicas`).
+    plane: usize,
+}
+
+impl IdMap {
+    fn raw(&self, logical: usize) -> usize {
+        if logical < self.replicas {
+            self.group * self.replicas + logical
+        } else {
+            self.plane + (logical - self.replicas)
+        }
+    }
+
+    fn logical(&self, raw: usize) -> usize {
+        if raw < self.plane {
+            raw % self.replicas
+        } else {
+            self.replicas + (raw - self.plane)
+        }
+    }
+}
+
+fn to_wire(msg: &NodeMsg) -> WireMsg {
+    match msg {
+        NodeMsg::Model { step, params } => WireMsg::Model {
+            step: *step,
             params: params.clone(),
         },
-    );
+        NodeMsg::Gradient { step, grad } => WireMsg::Gradient {
+            step: *step,
+            grad: grad.clone(),
+        },
+        NodeMsg::Exchange { step, params } => WireMsg::Exchange {
+            step: *step,
+            params: params.clone(),
+        },
+    }
 }
 
-/// Takes the first `q` arrivals and re-orders them by sender id: the fold
-/// becomes a function of the received multiset rather than of OS-thread
-/// scheduling. With full quorums (`q` = sender count) the whole run is
-/// bit-reproducible; with partial quorums only the membership — never the
-/// fold order — remains timing-dependent.
-fn canonical_quorum(mut received: Vec<(usize, Tensor)>, q: usize) -> (Vec<usize>, Vec<Tensor>) {
-    received.truncate(q);
-    received.sort_by_key(|&(from, _)| from);
-    received.into_iter().unzip()
+fn to_node(msg: WireMsg) -> NodeMsg {
+    match msg {
+        WireMsg::Model { step, params } => NodeMsg::Model { step, params },
+        WireMsg::Gradient { step, grad } => NodeMsg::Gradient { step, grad },
+        WireMsg::Exchange { step, params } => NodeMsg::Exchange { step, params },
+    }
 }
 
-#[allow(clippy::too_many_arguments)] // one thread entry point, not an API
+/// Whether two outbound messages carry the same payload (a machine
+/// broadcasting clones one tensor per receiver — a refcount bump, so
+/// storage identity detects the fan-out).
+fn same_payload(a: &NodeMsg, b: &NodeMsg) -> bool {
+    match (a, b) {
+        (
+            NodeMsg::Model {
+                step: s1,
+                params: p1,
+            },
+            NodeMsg::Model {
+                step: s2,
+                params: p2,
+            },
+        )
+        | (
+            NodeMsg::Exchange {
+                step: s1,
+                params: p1,
+            },
+            NodeMsg::Exchange {
+                step: s2,
+                params: p2,
+            },
+        )
+        | (NodeMsg::Gradient { step: s1, grad: p1 }, NodeMsg::Gradient { step: s2, grad: p2 }) => {
+            s1 == s2 && p1.shares_storage(p2)
+        }
+        _ => false,
+    }
+}
+
+/// Puts a machine's queued sends on the wire. Consecutive sends sharing
+/// one payload (a machine-level broadcast) are coalesced into a single
+/// transport broadcast so the frame is encoded once for all receivers.
+fn flush_sends(net: &mut dyn Transport, map: IdMap, sends: &[(usize, NodeMsg)]) {
+    let mut i = 0;
+    while i < sends.len() {
+        let mut targets = vec![map.raw(sends[i].0)];
+        let mut j = i + 1;
+        while j < sends.len() && same_payload(&sends[i].1, &sends[j].1) {
+            targets.push(map.raw(sends[j].0));
+            j += 1;
+        }
+        net.broadcast(&targets, &to_wire(&sends[i].1));
+        i = j;
+    }
+}
+
+/// Splits a machine's outputs into sends (flushed to the wire) and the
+/// rest, bumping the run counters for completed steps and recoveries.
+fn drive_outputs(
+    out: &mut Vec<Output>,
+    net: &mut dyn Transport,
+    map: IdMap,
+    records: &mut Vec<StepRecord>,
+    counters: &SoakCounters,
+    count_rounds: bool,
+) -> Vec<(u64, Tensor)> {
+    let mut sends: Vec<(usize, NodeMsg)> = Vec::new();
+    let mut requests = Vec::new();
+    for o in out.drain(..) {
+        match o {
+            Output::Send { to, msg } => sends.push((to, msg)),
+            Output::Step(r) => {
+                records.push(r);
+                if count_rounds {
+                    counters.rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Output::Recovered { .. } => {
+                counters.recoveries.fetch_add(1, Ordering::Relaxed);
+            }
+            Output::NeedGradient { step, model } => requests.push((step, model)),
+        }
+    }
+    flush_sends(net, map, &sends);
+    requests
+}
+
 fn server_thread(
-    cfg: RuntimeConfig,
-    theta0: Tensor,
-    shard_offset: usize,
-    worker_ids: Vec<usize>,
-    peer_servers: Vec<usize>,
+    mut machine: ServerMachine,
+    map: IdMap,
     mut net: Box<dyn Transport>,
     done: Arc<AtomicBool>,
-    gar: Box<dyn Gar>,
     counters: Arc<SoakCounters>,
-) -> (Tensor, ServerLog, NetStats) {
-    use std::collections::HashMap;
-    let me = net.me();
-    let median = CoordinateWiseMedian::new();
-    let mut params = theta0;
-    let mut step = 0u64;
-    let mut grads: HashMap<u64, Vec<(usize, Tensor)>> = HashMap::new();
-    let mut exchanges: HashMap<u64, Vec<(usize, Tensor)>> = HashMap::new();
-    let mut exchanging = false;
-    let mut round_grad_quorum: Vec<usize> = Vec::new();
-    let mut log = ServerLog::default();
-    broadcast_model(net.as_mut(), &worker_ids, 0, &params);
-    loop {
+    count_rounds: bool,
+) -> (Tensor, u64, Vec<StepRecord>, NetStats) {
+    let mut records = Vec::new();
+    let mut out = Vec::new();
+    machine.on_start(&mut out);
+    drive_outputs(
+        &mut out,
+        net.as_mut(),
+        map,
+        &mut records,
+        &counters,
+        count_rounds,
+    );
+    while !machine.halted() {
         if done.load(Ordering::Relaxed) {
             break;
         }
@@ -321,196 +423,32 @@ fn server_thread(
             Ok(m) => m,
             Err(_) => continue, // malformed frame: necessarily Byzantine, drop
         };
-        match msg {
-            WireMsg::Gradient { step: s, grad }
-                if s >= step && grad.len() == params.len() && grad.is_finite() =>
-            {
-                grads.entry(s).or_default().push((frame.from, grad));
-            }
-            WireMsg::Exchange { step: s, params: p }
-                if s >= step && p.len() == params.len() && p.is_finite() =>
-            {
-                exchanges.entry(s).or_default().push((frame.from, p));
-            }
-            _ => {}
-        }
-
-        // Fold gradients once the quorum for the current step is in.
-        if !exchanging {
-            let q = cfg.cluster.worker_quorum;
-            if grads.get(&step).is_some_and(|v| v.len() >= q) {
-                let (senders, received) =
-                    canonical_quorum(grads.remove(&step).expect("checked"), q);
-                if let Ok(agg) = gar.aggregate(&received) {
-                    let lr = cfg.lr.at(step);
-                    params.axpy(-lr, &agg).expect("fixed dims");
-                    if !peer_servers.is_empty() {
-                        exchanging = true;
-                        round_grad_quorum = senders;
-                        exchanges
-                            .entry(step)
-                            .or_default()
-                            .push((me, params.clone()));
-                        let msg = WireMsg::Exchange {
-                            step,
-                            params: params.clone(),
-                        };
-                        net.broadcast(&peer_servers, &msg);
-                    } else {
-                        log.rounds.push(ServerRound {
-                            model_digest: positional_digest(shard_offset, params.as_slice()),
-                            grad_quorum: senders,
-                            exch_quorum: Vec::new(),
-                        });
-                        if me == 0 {
-                            counters.rounds.fetch_add(1, Ordering::Relaxed);
-                        }
-                        step += 1;
-                        if step >= cfg.max_steps {
-                            break;
-                        }
-                        broadcast_model(net.as_mut(), &worker_ids, step, &params);
-                    }
-                }
-            }
-        }
-        if exchanging {
-            let q = cfg.cluster.server_quorum;
-            if exchanges.get(&step).is_some_and(|v| v.len() >= q) {
-                let (senders, received) =
-                    canonical_quorum(exchanges.remove(&step).expect("checked"), q);
-                if let Ok(folded) = median.aggregate(&received) {
-                    params = folded;
-                }
-                exchanging = false;
-                log.rounds.push(ServerRound {
-                    model_digest: positional_digest(shard_offset, params.as_slice()),
-                    grad_quorum: std::mem::take(&mut round_grad_quorum),
-                    exch_quorum: senders,
-                });
-                if me == 0 {
-                    counters.rounds.fetch_add(1, Ordering::Relaxed);
-                }
-                step += 1;
-                grads.retain(|&s, _| s >= step);
-                exchanges.retain(|&s, _| s >= step);
-                if step >= cfg.max_steps {
-                    break;
-                }
-                broadcast_model(net.as_mut(), &worker_ids, step, &params);
-            }
-        }
+        machine.on_message(map.logical(frame.from), &to_node(msg), &mut out);
+        drive_outputs(
+            &mut out,
+            net.as_mut(),
+            map,
+            &mut records,
+            &counters,
+            count_rounds,
+        );
     }
     net.shutdown();
     let stats = NetStats::collect(net.as_ref());
-    (params, log, stats)
+    (machine.params().clone(), machine.step(), records, stats)
 }
 
-#[allow(clippy::too_many_arguments)] // one thread entry point, not an API
-fn worker_thread(
-    cfg: RuntimeConfig,
-    plan: ShardPlan,
-    mut model: Sequential,
-    mut batcher: Batcher,
-    train: Arc<Dataset>,
+fn byzantine_server_thread(
+    mut machine: ByzServerMachine,
+    map: IdMap,
     mut net: Box<dyn Transport>,
     done: Arc<AtomicBool>,
     counters: Arc<SoakCounters>,
 ) -> NetStats {
-    let mut step = 0u64;
-    let q = cfg.cluster.server_quorum;
-    let n = cfg.cluster.servers;
-    let shards = plan.shards();
-    let plane = shards * n;
-    // Shard group `g`'s server replicas, in raw-id (== replica) order.
-    let group_targets: Vec<Vec<usize>> = (0..shards)
-        .map(|g| (g * n..(g + 1) * n).collect())
-        .collect();
-    let mut gather = ShardGather::<Tensor>::new(shards, q);
-    'run: loop {
-        if done.load(Ordering::Relaxed) {
-            break;
-        }
-        let frame = match net.recv_timeout(POLL) {
-            Ok(f) => f,
-            Err(RecvError::Timeout) => continue,
-            Err(RecvError::Closed) => break,
-        };
-        if let Ok(WireMsg::Model { step: s, params }) = decode(&frame.payload) {
-            // A model slice is accepted only from a server raw id and only
-            // at its shard group's exact width — anything else is
-            // necessarily Byzantine (or stale) and dropped.
-            if s >= step && frame.from < plane && params.is_finite() {
-                let g = frame.from / n;
-                if params.len() == plan.range(g).len() {
-                    gather.insert(s, g, frame.from, params);
-                }
-            }
-        }
-        // Recovery fast-forward: only when the *current* step can no
-        // longer fill (its frames were cut by churn) — a completable step
-        // is never skipped, so on a lossless run this never fires. A step
-        // counts as completable only when *every* shard group is quorate.
-        if cfg.recovery && !gather.is_complete(step) {
-            if let Some(newest) = gather.newest_complete(step) {
-                step = newest;
-                gather.retain_from(step);
-                counters.recoveries.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        while let Some(per_shard) = gather.take(step) {
-            // Per-shard median folds write disjoint ranges of one output
-            // vector; coordinate-wise rules tile, so the result is
-            // bit-identical to the unsharded full-vector fold.
-            let mut out = vec![0.0f32; plan.d()];
-            for (g, received) in per_shard.into_iter().enumerate() {
-                let (_, tensors) = canonical_quorum(received, q);
-                kernel::median_into(
-                    Exec::auto(),
-                    &kernel::views(&tensors),
-                    &mut out[plan.range(g)],
-                );
-            }
-            if model.set_param_vector(&Tensor::from_flat(out)).is_err() {
-                break 'run;
-            }
-            model.zero_grads();
-            let grad = batcher.next_batch(&train).ok().and_then(|(x, labels)| {
-                let logits = model.forward(&x, true).ok()?;
-                let (_, dl) = softmax_cross_entropy(&logits, &labels).ok()?;
-                model.backward(&dl).ok()?;
-                Some(model.grad_vector())
-            });
-            let grad = match grad {
-                Some(g) => g,
-                None => break 'run,
-            };
-            // Scatter: each shard group receives one frame carrying only
-            // its range, encoded straight off the full gradient's buffer.
-            let msg = WireMsg::Gradient { step, grad };
-            for (g, targets) in group_targets.iter().enumerate() {
-                net.broadcast_range(targets, &msg, plan.range(g));
-            }
-            step += 1;
-            gather.retain_from(step);
-        }
-    }
-    net.shutdown();
-    NetStats::collect(net.as_ref())
-}
-
-fn byzantine_worker_thread(
-    cfg: RuntimeConfig,
-    mut attack: Box<dyn Attack>,
-    mut net: Box<dyn Transport>,
-    done: Arc<AtomicBool>,
-) -> NetStats {
-    use std::collections::{HashMap, HashSet};
-    let n = cfg.cluster.servers;
-    // Forgery is per (step, shard group): each group sees only its own
-    // parameter range, so the attack observes and forges slices.
-    let mut observed: HashMap<(u64, usize), Vec<Tensor>> = HashMap::new();
-    let mut forged: HashSet<(u64, usize)> = HashSet::new();
+    let mut records = Vec::new();
+    let mut out = Vec::new();
+    machine.on_start(&mut out);
+    drive_outputs(&mut out, net.as_mut(), map, &mut records, &counters, false);
     loop {
         if done.load(Ordering::Relaxed) {
             break;
@@ -520,22 +458,204 @@ fn byzantine_worker_thread(
             Err(RecvError::Timeout) => continue,
             Err(RecvError::Closed) => break,
         };
-        if let Ok(WireMsg::Model { step, params }) = decode(&frame.payload) {
-            let group = frame.from / n;
-            observed.entry((step, group)).or_default().push(params);
-            if !forged.insert((step, group)) {
-                continue;
-            }
-            let honest = observed[&(step, group)].clone();
-            for r in 0..n {
-                let view = AttackView::new(&honest, step, r);
-                if let Some(g) = attack.forge(&view) {
-                    net.send(group * n + r, &WireMsg::Gradient { step, grad: g });
+        let Ok(msg) = decode(&frame.payload) else {
+            continue;
+        };
+        machine.on_message(map.logical(frame.from), &to_node(msg), &mut out);
+        drive_outputs(&mut out, net.as_mut(), map, &mut records, &counters, false);
+    }
+    net.shutdown();
+    NetStats::collect(net.as_ref())
+}
+
+/// The honest-worker data pipeline: one machine per shard group, one
+/// model/batcher pair shared across the groups. A gradient is computed
+/// once per step — when every group's machine has folded its model slice —
+/// and scattered back to the groups as per-range slices.
+struct WorkerPipeline {
+    machines: Vec<WorkerMachine>,
+    plan: ShardPlan,
+    model: Sequential,
+    batcher: Batcher,
+    train: Arc<Dataset>,
+    /// Folded model slices awaiting the full set, per step: `pending[step][g]`.
+    pending: HashMap<u64, Vec<Option<Tensor>>>,
+}
+
+impl WorkerPipeline {
+    /// Answers every gradient request whose slice set is complete, and
+    /// unblocks groups stuck on a step their sibling groups fast-forwarded
+    /// past (recovery mode): those receive a NaN sentinel, which the
+    /// machine swallows — the step is skipped, never stalled.
+    fn resolve(&mut self, out_by_group: &mut [Vec<Output>]) {
+        loop {
+            let mut steps: Vec<u64> = self.pending.keys().copied().collect();
+            steps.sort_unstable();
+            let mut progressed = false;
+            for t in steps {
+                let slices = &self.pending[&t];
+                let complete = slices.iter().all(Option::is_some);
+                let abandoned = !complete
+                    && slices
+                        .iter()
+                        .enumerate()
+                        .all(|(g, s)| s.is_some() || self.machines[g].step() > t);
+                if complete {
+                    let slices = self.pending.remove(&t).expect("checked");
+                    self.answer(t, slices, out_by_group);
+                    progressed = true;
+                } else if abandoned {
+                    // Some groups skipped `t` (fast-forward): feed the
+                    // waiting groups a sentinel so they skip it too.
+                    let slices = self.pending.remove(&t).expect("checked");
+                    for (g, s) in slices.into_iter().enumerate() {
+                        if s.is_some() {
+                            let d = self.plan.range(g).len();
+                            self.machines[g].gradient_ready(
+                                t,
+                                Tensor::full(&[d], f32::NAN),
+                                &mut out_by_group[g],
+                            );
+                        }
+                    }
+                    progressed = true;
                 }
             }
-            observed.retain(|&(s, _), _| s + 2 >= step);
-            forged.retain(|&(s, _)| s + 2 >= step);
+            if !progressed {
+                return;
+            }
         }
+    }
+
+    fn answer(&mut self, step: u64, slices: Vec<Option<Tensor>>, out_by_group: &mut [Vec<Output>]) {
+        let shards = self.machines.len();
+        let view = if shards == 1 {
+            slices.into_iter().next().flatten().expect("complete")
+        } else {
+            let mut flat = Vec::with_capacity(self.plan.d());
+            for s in slices {
+                flat.extend_from_slice(s.expect("complete").as_slice());
+            }
+            Tensor::from_flat(flat)
+        };
+        let grad = self.compute(&view);
+        for (g, out) in out_by_group.iter_mut().enumerate() {
+            let slice = match &grad {
+                Some(full) if shards == 1 => full.clone(),
+                Some(full) => full
+                    .shard_view(self.plan.range(g))
+                    .expect("plan ranges are in bounds")
+                    .to_tensor(),
+                // Failed forward/backward: a sentinel the machine swallows.
+                None => Tensor::full(&[self.plan.range(g).len()], f32::NAN),
+            };
+            self.machines[g].gradient_ready(step, slice, out);
+        }
+    }
+
+    fn compute(&mut self, view: &Tensor) -> Option<Tensor> {
+        self.model.set_param_vector(view).ok()?;
+        self.model.zero_grads();
+        let (x, labels) = self.batcher.next_batch(&self.train).ok()?;
+        let logits = self.model.forward(&x, true).ok()?;
+        let (_, dl) = softmax_cross_entropy(&logits, &labels).ok()?;
+        self.model.backward(&dl).ok()?;
+        Some(self.model.grad_vector())
+    }
+}
+
+fn worker_thread(
+    mut pipe: WorkerPipeline,
+    maps: Vec<IdMap>,
+    mut net: Box<dyn Transport>,
+    done: Arc<AtomicBool>,
+    counters: Arc<SoakCounters>,
+) -> NetStats {
+    let shards = pipe.machines.len();
+    let replicas = maps[0].replicas;
+    let plane = maps[0].plane;
+    let mut records = Vec::new(); // workers emit no Step records
+    let mut outs: Vec<Vec<Output>> = vec![Vec::new(); shards];
+    for (machine, out) in pipe.machines.iter_mut().zip(&mut outs) {
+        machine.on_start(out);
+    }
+    loop {
+        // Drain to quiescence: resolving requests can make the machines
+        // emit new ones (fast-forward), so alternate until nothing moves.
+        // Incomplete slice sets stay pending across the recv below — their
+        // missing groups only fill in when more frames arrive.
+        loop {
+            pipe.resolve(&mut outs);
+            let mut inserted = false;
+            for g in 0..shards {
+                for (t, model) in drive_outputs(
+                    &mut outs[g],
+                    net.as_mut(),
+                    maps[g],
+                    &mut records,
+                    &counters,
+                    false,
+                ) {
+                    pipe.pending.entry(t).or_insert_with(|| vec![None; shards])[g] = Some(model);
+                    inserted = true;
+                }
+            }
+            if !inserted {
+                break;
+            }
+        }
+        // The worker keeps draining (and discarding) frames after it halts
+        // so late server broadcasts never hit a closed endpoint.
+        if done.load(Ordering::Relaxed) {
+            break;
+        }
+        let frame = match net.recv_timeout(POLL) {
+            Ok(f) => f,
+            Err(RecvError::Timeout) => continue,
+            Err(RecvError::Closed) => break,
+        };
+        // Model slices are dispatched to their shard group's machine
+        // (group = sender's position in the server plane); anything else
+        // is not addressed to an honest worker.
+        if frame.from >= plane {
+            continue;
+        }
+        let g = frame.from / replicas;
+        if g >= shards {
+            continue;
+        }
+        let Ok(msg) = decode(&frame.payload) else {
+            continue;
+        };
+        pipe.machines[g].on_message(maps[g].logical(frame.from), &to_node(msg), &mut outs[g]);
+    }
+    net.shutdown();
+    NetStats::collect(net.as_ref())
+}
+
+fn byzantine_worker_thread(
+    mut machine: ByzWorkerMachine,
+    map: IdMap,
+    mut net: Box<dyn Transport>,
+    done: Arc<AtomicBool>,
+    counters: Arc<SoakCounters>,
+) -> NetStats {
+    let mut records = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        if done.load(Ordering::Relaxed) {
+            break;
+        }
+        let frame = match net.recv_timeout(POLL) {
+            Ok(f) => f,
+            Err(RecvError::Timeout) => continue,
+            Err(RecvError::Closed) => break,
+        };
+        let Ok(msg) = decode(&frame.payload) else {
+            continue;
+        };
+        machine.on_message(map.logical(frame.from), &to_node(msg), &mut out);
+        drive_outputs(&mut out, net.as_mut(), map, &mut records, &counters, false);
     }
     net.shutdown();
     NetStats::collect(net.as_ref())
@@ -543,13 +663,14 @@ fn byzantine_worker_thread(
 
 /// Builds one endpoint per node on the configured interconnect. The TCP
 /// mesh links only what the protocol uses: servers within one shard group
-/// exchange with each other, workers talk to every server, and shard
-/// groups never talk across — so at `k` shards the inter-server link count
-/// drops by ~`k×` on top of the worker↔worker links already skipped.
+/// exchange with each other, workers talk to every server, and honest
+/// workers additionally tap their gradients to Byzantine workers (the
+/// omniscience channel) — honest workers never talk to each other.
 fn build_endpoints(cfg: &RuntimeConfig) -> Result<Vec<Box<dyn Transport>>, GuanYuError> {
     let n = cfg.cluster.servers;
     let plane = cfg.shards.max(1) * n;
     let total = plane + cfg.cluster.workers;
+    let honest_plane = plane + (cfg.cluster.workers - cfg.actual_byz_workers);
     match cfg.transport {
         TransportKind::Channel => Ok(ChannelTransport::mesh(total)
             .into_iter()
@@ -560,8 +681,11 @@ fn build_endpoints(cfg: &RuntimeConfig) -> Result<Vec<Box<dyn Transport>>, GuanY
                 let (sa, sb) = (a < plane, b < plane);
                 if sa && sb {
                     a / n == b / n // same shard group exchanges models
+                } else if sa || sb {
+                    true // worker ↔ server
                 } else {
-                    sa || sb // worker ↔ server; never worker ↔ worker
+                    // worker ↔ worker only for the omniscience taps
+                    a >= honest_plane || b >= honest_plane
                 }
             })
             .map_err(|e| GuanYuError::Transport(format!("tcp mesh: {e}")))?;
@@ -602,28 +726,26 @@ pub fn run_cluster_with(
     train: Dataset,
     hooks: RunHooks,
 ) -> Result<ClusterReport, GuanYuError> {
-    if cfg.cluster.servers > 1 {
-        cfg.cluster.validate()?;
-    }
-    if cfg.actual_byz_workers > cfg.cluster.byz_workers {
+    if cfg.actual_byz_workers > 0 && cfg.shards > 1 {
+        // The omniscience taps carry per-range gradient slices with no
+        // group marker on the worker↔worker wire, so the attacker cannot
+        // attribute them on a sharded plane.
         return Err(GuanYuError::InvalidConfig(
-            "actual Byzantine workers exceed declared".into(),
+            "Byzantine workers are not supported on a sharded gradient plane".into(),
         ));
     }
-    if cfg.actual_byz_workers > 0 && cfg.worker_attack.is_none() {
-        return Err(GuanYuError::InvalidConfig(
-            "Byzantine workers configured without an attack".into(),
-        ));
-    }
+    let spec = MachineSpec::new(cfg.machine_config())?;
 
     let mut rng = TensorRng::new(cfg.seed);
     let mut init_rng = rng.fork(0xA11);
     let theta0 = model_builder(&mut init_rng).param_vector();
-    let plan = ShardPlan::even(theta0.len(), cfg.shards)
+    let dim = theta0.len();
+    let plan = ShardPlan::even(dim, cfg.shards)
         .map_err(|e| GuanYuError::InvalidConfig(format!("shard plan: {e}")))?;
     let shards = plan.shards();
     let n = cfg.cluster.servers;
     let plane = shards * n;
+    let honest_servers = n - cfg.actual_byz_servers;
 
     let mut endpoints = build_endpoints(cfg)?.into_iter();
     let done = Arc::new(AtomicBool::new(false));
@@ -634,8 +756,8 @@ pub fn run_cluster_with(
     };
 
     let start = Instant::now();
-    let worker_ids: Vec<usize> = (plane..plane + cfg.cluster.workers).collect();
     let mut server_handles = Vec::new();
+    let mut byz_server_handles = Vec::new();
     for g in 0..shards {
         let range = plan.range(g);
         // Zero-copy view of the group's slice of θ₀, materialised once per
@@ -644,59 +766,73 @@ pub fn run_cluster_with(
             .shard_view(range.clone())
             .expect("plan ranges are in bounds")
             .to_tensor();
+        let map = IdMap {
+            group: g,
+            replicas: n,
+            plane,
+        };
         for r in 0..n {
             let id = g * n + r;
             let net = decorate(id, endpoints.next().expect("one endpoint per node"));
-            let gar = cfg
-                .server_gar
-                .build(cfg.cluster.krum_f())
-                .map_err(|e| GuanYuError::InvalidConfig(e.to_string()))?;
-            let cfg = cfg.clone();
-            let theta_g = theta_g.clone();
-            let worker_ids = worker_ids.clone();
-            let peer_servers: Vec<usize> = (g * n..(g + 1) * n).filter(|&p| p != id).collect();
-            let offset = range.start;
             let done = Arc::clone(&done);
             let counters = Arc::clone(&hooks.counters);
-            server_handles.push(std::thread::spawn(move || {
-                server_thread(
-                    cfg,
-                    theta_g,
-                    offset,
-                    worker_ids,
-                    peer_servers,
-                    net,
-                    done,
-                    gar,
-                    counters,
-                )
-            }));
+            if r < honest_servers {
+                let gar = cfg
+                    .server_gar
+                    .build(cfg.cluster.krum_f())
+                    .map_err(|e| GuanYuError::InvalidConfig(e.to_string()))?;
+                let machine =
+                    ServerMachine::new(Arc::clone(&spec), r, theta_g.clone(), range.start, gar);
+                let count_rounds = id == 0;
+                server_handles.push(std::thread::spawn(move || {
+                    server_thread(machine, map, net, done, counters, count_rounds)
+                }));
+            } else {
+                let machine = ByzServerMachine::new(Arc::clone(&spec), r, range.len());
+                byz_server_handles.push(std::thread::spawn(move || {
+                    byzantine_server_thread(machine, map, net, done, counters)
+                }));
+            }
         }
     }
     let honest_workers = cfg.cluster.workers - cfg.actual_byz_workers;
     let mut worker_handles = Vec::new();
+    let maps: Vec<IdMap> = (0..shards)
+        .map(|g| IdMap {
+            group: g,
+            replicas: n,
+            plane,
+        })
+        .collect();
     for w in 0..cfg.cluster.workers {
         let id = plane + w;
         let net = decorate(id, endpoints.next().expect("one endpoint per node"));
-        let cfg_c = cfg.clone();
         let done = Arc::clone(&done);
+        let counters = Arc::clone(&hooks.counters);
         if w < honest_workers {
             let mut worker_rng = rng.fork(0xB0B + w as u64);
             let model = model_builder(&mut worker_rng);
             let batcher = Batcher::new(train.len(), cfg.batch_size, cfg.seed ^ (w as u64) << 17);
-            let train = Arc::clone(&train);
-            let counters = Arc::clone(&hooks.counters);
-            let plan_c = plan.clone();
+            let machines: Vec<WorkerMachine> = (0..shards)
+                .map(|g| WorkerMachine::new(Arc::clone(&spec), n + w, plan.range(g).len()))
+                .collect();
+            let pipe = WorkerPipeline {
+                machines,
+                plan: plan.clone(),
+                model,
+                batcher,
+                train: Arc::clone(&train),
+                pending: HashMap::new(),
+            };
+            let maps = maps.clone();
             worker_handles.push(std::thread::spawn(move || {
-                worker_thread(cfg_c, plan_c, model, batcher, train, net, done, counters)
+                worker_thread(pipe, maps, net, done, counters)
             }));
         } else {
-            let attack = cfg
-                .worker_attack
-                .expect("validated above")
-                .build(cfg.seed ^ 0xEB1 ^ (w as u64) << 8);
+            let machine = ByzWorkerMachine::new(Arc::clone(&spec), w);
+            let map = maps[0];
             worker_handles.push(std::thread::spawn(move || {
-                byzantine_worker_thread(cfg_c, attack, net, done)
+                byzantine_worker_thread(machine, map, net, done, counters)
             }));
         }
     }
@@ -704,7 +840,8 @@ pub fn run_cluster_with(
     // Join servers with a wall timeout (a stalled Byzantine-heavy run must
     // not hang the caller).
     let mut raw_params = Vec::with_capacity(server_handles.len());
-    let mut server_logs = Vec::with_capacity(server_handles.len());
+    let mut raw_steps = Vec::with_capacity(server_handles.len());
+    let mut records = Vec::new();
     let mut dropped_sends = 0u64;
     let mut link_failures = 0u64;
     let mut pool = PoolStats::default();
@@ -712,9 +849,10 @@ pub fn run_cluster_with(
     for h in server_handles {
         loop {
             if h.is_finished() {
-                let (params, log, stats) = h.join().expect("server thread panicked");
+                let (params, step, recs, stats) = h.join().expect("server thread panicked");
                 raw_params.push(params);
-                server_logs.push(log);
+                raw_steps.push(step);
+                records.extend(recs);
                 dropped_sends += stats.dropped;
                 link_failures += stats.link_failures;
                 fold_pool(&mut pool, stats.pool);
@@ -730,7 +868,7 @@ pub fn run_cluster_with(
         }
     }
     done.store(true, Ordering::Relaxed);
-    for h in worker_handles {
+    for h in byz_server_handles.into_iter().chain(worker_handles) {
         if let Ok(stats) = h.join() {
             dropped_sends += stats.dropped;
             link_failures += stats.link_failures;
@@ -748,26 +886,37 @@ pub fn run_cluster_with(
         )));
     }
 
-    // Logical replica `r`'s full parameter vector is the concatenation of
-    // its shard groups' slices (raw ids r, n+r, 2n+r, …).
-    let mut final_params = Vec::with_capacity(n);
-    for r in 0..n {
+    // Honest logical replica `r`'s full parameter vector is the
+    // concatenation of its shard groups' slices (join order is g-major:
+    // raw_params[g * honest_servers + r]).
+    let mut final_params = Vec::with_capacity(honest_servers);
+    let mut final_steps = Vec::with_capacity(honest_servers);
+    for r in 0..honest_servers {
         if shards == 1 {
             final_params.push(raw_params[r].clone());
         } else {
             let mut flat = Vec::with_capacity(plan.d());
             for g in 0..shards {
-                flat.extend_from_slice(raw_params[g * n + r].as_slice());
+                flat.extend_from_slice(raw_params[g * honest_servers + r].as_slice());
             }
             final_params.push(Tensor::from_flat(flat));
         }
+        // A logical replica's groups run in lockstep; min is the honest
+        // answer if one group fell behind at shutdown.
+        final_steps.push(
+            (0..shards)
+                .map(|g| raw_steps[g * honest_servers + r])
+                .min()
+                .expect("at least one shard"),
+        );
     }
-    let updates = cfg.max_steps * n as u64;
+    let updates = cfg.max_steps * honest_servers as u64;
     Ok(ClusterReport {
         final_params,
+        final_steps,
         updates,
         wall_secs: start.elapsed().as_secs_f64(),
-        trace: assemble_trace(&server_logs, shards, n),
+        trace: node::assemble_trace(&records),
         dropped_sends,
         link_failures,
         pool,
@@ -847,9 +996,39 @@ mod tests {
     }
 
     #[test]
+    fn byzantine_servers_tolerated() {
+        let cfg = RuntimeConfig {
+            max_steps: 3,
+            actual_byz_servers: 1,
+            server_attack: Some(AttackKind::Random { scale: 100.0 }),
+            ..RuntimeConfig::default_for_tests()
+        };
+        let report = run_cluster(&cfg, builder, train_data()).unwrap();
+        assert_eq!(
+            report.final_params.len(),
+            5,
+            "only honest replicas report parameters"
+        );
+        for p in &report.final_params {
+            assert!(p.is_finite(), "attack must not corrupt honest servers");
+        }
+    }
+
+    #[test]
     fn rejects_invalid_byzantine_counts() {
         let cfg = RuntimeConfig {
             actual_byz_workers: 5, // declared 2
+            worker_attack: Some(AttackKind::Mute),
+            ..RuntimeConfig::default_for_tests()
+        };
+        assert!(run_cluster(&cfg, builder, train_data()).is_err());
+    }
+
+    #[test]
+    fn rejects_byzantine_workers_on_sharded_plane() {
+        let cfg = RuntimeConfig {
+            shards: 2,
+            actual_byz_workers: 1,
             worker_attack: Some(AttackKind::Mute),
             ..RuntimeConfig::default_for_tests()
         };
@@ -927,6 +1106,29 @@ mod tests {
         assert_eq!(sharded.updates, flat.updates, "logical replica updates");
         assert_eq!(sharded.dropped_sends, 0);
         assert_eq!(sharded.link_failures, 0);
+    }
+
+    #[test]
+    fn planned_mode_trace_matches_across_transports() {
+        // Planned quorums make the trace a pure function of seed + config:
+        // the channel and TCP planes must produce identical fingerprints.
+        let base = RuntimeConfig {
+            max_steps: 3,
+            mode: QuorumMode::Planned,
+            ..RuntimeConfig::default_for_tests()
+        };
+        let channel = run_cluster(&base, builder, train_data()).unwrap();
+        let tcp_cfg = RuntimeConfig {
+            transport: TransportKind::TcpLoopback,
+            ..base.clone()
+        };
+        let tcp = run_cluster(&tcp_cfg, builder, train_data()).unwrap();
+        assert_eq!(channel.trace.len(), 3);
+        assert_eq!(
+            channel.trace.fingerprint(),
+            tcp.trace.fingerprint(),
+            "planned-mode trace must be transport-independent"
+        );
     }
 
     #[test]

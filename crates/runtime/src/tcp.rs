@@ -648,6 +648,62 @@ mod tests {
         }
     }
 
+    /// The lost-wakeup window: a writer flushes and notifies *after* the
+    /// plane's sweep found nothing but *before* the plane parks. The
+    /// sticky poked bit is checked under the same lock the park waits on,
+    /// so the park must return immediately with the mark — not sleep
+    /// until the backstop (or forever, stalling the round the frame
+    /// belongs to).
+    #[test]
+    fn notify_between_collect_and_park_is_never_lost() {
+        let w = Waker::new(2);
+        let mut hot = vec![false; 2];
+        w.collect(&mut hot); // the sweep saw nothing
+        w.notify_from(1); // flush lands in the mark→park window
+        let t0 = Instant::now();
+        let poked = w.park_collect(&mut hot, Duration::from_secs(10));
+        assert!(poked, "sticky bit must short-circuit the park");
+        assert!(hot[1], "the ready mark must survive into the next sweep");
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "park must not wait out its timeout: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    /// A pure backstop timeout (hypothetically missed signal) must report
+    /// `false` so the plane does one full resynchronising sweep instead of
+    /// trusting (possibly stale) ready marks.
+    #[test]
+    fn pure_timeout_park_requests_a_resync_sweep() {
+        let w = Waker::new(1);
+        let mut hot = vec![false; 1];
+        let poked = w.park_collect(&mut hot, Duration::from_millis(5));
+        assert!(!poked, "timeout wake must demand a full sweep");
+        assert!(!hot[0]);
+    }
+
+    /// End-to-end regression for the park/notify boundary: frames paced
+    /// slower than the grace yields force the plane to park between every
+    /// frame, so each delivery exercises a fresh park→notify→sweep cycle.
+    /// A lost wake-up would strand a frame until shutdown and fail the
+    /// per-frame receive below.
+    #[test]
+    fn parked_plane_wakes_for_every_paced_frame() {
+        let mut mesh = TcpTransport::mesh(2, |_, _| true).unwrap();
+        let mut n1 = mesh.pop().unwrap();
+        let mut n0 = mesh.pop().unwrap();
+        for i in 0..100 {
+            n0.send(1, &msg(i, vec![i as f32]));
+            std::thread::sleep(Duration::from_millis(2));
+            let got = n1.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(decode(&got.payload).unwrap().step(), i);
+        }
+        n0.shutdown();
+        n1.shutdown();
+        assert_eq!(n1.link_failures(), 0);
+    }
+
     #[test]
     fn mesh_routes_and_identifies_senders() {
         let mut mesh = TcpTransport::mesh(3, |_, _| true).unwrap();

@@ -4,10 +4,11 @@
 //! this module samples *arbitrary compositions* of all eight
 //! [`FaultKind`]s — random windows, scopes and intensities over random
 //! cluster shapes inside the paper's feasible region — and runs each
-//! sample through both deterministic engines under the full checker
-//! (determinism + honest-agreement + progress). PR 4's trace digests make
-//! this nearly free: same seed ⇒ bit-identical trace, so a violation is a
-//! crisp, replayable artifact rather than a flake.
+//! sample through all three engines under the full checker (determinism +
+//! honest-agreement + progress + cross-engine trace identity). The shared
+//! node machine and its planned quorums make this nearly free: same seed
+//! ⇒ bit-identical trace on every engine, so a violation is a crisp,
+//! replayable artifact rather than a flake.
 //!
 //! Pipeline ([`fuzz`]):
 //!
@@ -16,8 +17,9 @@
 //!    seed (`GUANYU_CHAOS_SEED` or `--seed`) — resampling until the
 //!    candidate passes [`Scenario::within_bounds`] keeps the checker's
 //!    invariant guarantees meaningful;
-//! 2. [`verdict`] runs the sample twice per engine (panic-safe) and
-//!    classifies the outcome ([`Violation`] or pass);
+//! 2. [`verdict`] runs the sample twice per engine (panic-safe),
+//!    differentially compares the engines' traces, and classifies the
+//!    outcome ([`Violation`] or pass);
 //! 3. on violation, [`crate::shrink::shrink`] reduces the schedule to a
 //!    minimal reproducer that [`crate::file`] serialises for replay.
 
@@ -30,7 +32,9 @@ use serde::{Deserialize, Serialize};
 use tensor::TensorRng;
 
 use crate::check::check_invariants;
-use crate::run::{calibrate_round_secs, run_event_with, run_lockstep, Engine, ScenarioRun};
+use crate::run::{
+    calibrate_round_secs, run_event_with, run_lockstep, run_threaded, Engine, ScenarioRun,
+};
 use crate::scenario::Scenario;
 use crate::shrink::{shrink, ShrinkOutcome};
 
@@ -58,12 +62,17 @@ pub enum ViolationKind {
     EngineError,
     /// The engine panicked.
     Panic,
+    /// Two engines produced different traces for the same scenario — the
+    /// engines have drifted apart (the bug class the shared node machine
+    /// exists to kill).
+    CrossEngineDivergence,
 }
 
 /// One detected contract violation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Violation {
-    /// Engine label (`lockstep` / `event-driven`).
+    /// Engine label (`lockstep` / `event-driven` / `threaded`, or
+    /// `a≠b` for cross-engine divergence).
     pub engine: String,
     /// The broken contract.
     pub kind: ViolationKind,
@@ -92,6 +101,7 @@ fn run_pair(scn: &Scenario, engine: Engine) -> guanyu::Result<(ScenarioRun, Scen
                 run_event_with(scn, round_secs)?,
             )
         }
+        Engine::Threaded => (run_threaded(scn)?, run_threaded(scn)?),
     })
 }
 
@@ -105,13 +115,17 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// The chaos oracle: runs `scn` through both deterministic engines (twice
-/// each) and returns the first contract violation, or `None` when every
-/// check passes. Panic-safe — an engine panic is reported as a
+/// The chaos oracle: runs `scn` through all three engines (twice each)
+/// and returns the first contract violation, or `None` when every check
+/// passes. Per engine it checks determinism (same seed, same trace) and
+/// the protocol invariants; across engines it checks that the three
+/// planned-mode traces are bit-identical — the differential check that
+/// catches engine drift. Panic-safe — an engine panic is reported as a
 /// [`ViolationKind::Panic`] violation instead of unwinding into the
 /// caller, so a fuzz run survives any single bad sample.
 pub fn verdict(scn: &Scenario) -> Option<Violation> {
-    for engine in [Engine::Lockstep, Engine::EventDriven] {
+    let mut runs: Vec<(Engine, ScenarioRun)> = Vec::with_capacity(3);
+    for engine in [Engine::Lockstep, Engine::EventDriven, Engine::Threaded] {
         let outcome = catch_unwind(AssertUnwindSafe(|| run_pair(scn, engine)));
         match outcome {
             Err(payload) => {
@@ -148,7 +162,26 @@ pub fn verdict(scn: &Scenario) -> Option<Violation> {
                         detail,
                     });
                 }
+                runs.push((engine, a));
             }
+        }
+    }
+    let (base_engine, base) = &runs[0];
+    for (engine, run) in &runs[1..] {
+        if run.trace != base.trace {
+            return Some(Violation {
+                engine: format!("{base_engine}≠{engine}"),
+                kind: ViolationKind::CrossEngineDivergence,
+                detail: format!(
+                    "fingerprint {:#x} ({base_engine}, {} rounds) vs {:#x} ({engine}, {} rounds) \
+                     at seed {}",
+                    base.fingerprint(),
+                    base.trace.len(),
+                    run.fingerprint(),
+                    run.trace.len(),
+                    scn.seed
+                ),
+            });
         }
     }
     None

@@ -16,7 +16,9 @@ use aggregation::properties::diameter;
 use guanyu::Result;
 use serde::{Deserialize, Serialize};
 
-use crate::run::{calibrate_round_secs, run_event_with, run_lockstep, Engine, ScenarioRun};
+use crate::run::{
+    calibrate_round_secs, run_event_with, run_lockstep, run_threaded, Engine, ScenarioRun,
+};
 use crate::scenario::Scenario;
 
 /// What the invariant check measured (one engine, one scenario).
@@ -72,6 +74,7 @@ pub fn assert_deterministic(scn: &Scenario, engine: Engine) -> Result<ScenarioRu
                 run_event_with(scn, round_secs)?,
             )
         }
+        Engine::Threaded => (run_threaded(scn)?, run_threaded(scn)?),
     };
     assert_eq!(
         a.trace, b.trace,

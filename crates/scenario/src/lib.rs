@@ -52,7 +52,10 @@ pub mod shrink;
 
 pub use chaos::{fuzz, fuzz_with, seed_from_env, ChaosGen, Violation, ViolationKind};
 pub use file::{Expectation, ScenarioFile};
-pub use run::{calibrate_round_secs, run_event, run_event_with, run_lockstep, Engine, ScenarioRun};
+pub use run::{
+    calibrate_round_secs, run_event, run_event_with, run_lockstep, run_threaded, Engine,
+    ScenarioRun,
+};
 pub use scenario::{matrix, Scenario};
 pub use shrink::{shrink, ShrinkOutcome};
 pub use simnet::NetworkModel;

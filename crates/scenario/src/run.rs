@@ -1,12 +1,16 @@
 //! Engine drivers: compile a [`Scenario`] and run it to a [`ScenarioRun`].
 
+use std::time::Duration;
+
 use data::synthetic_cifar;
 use guanyu::cost::CostModel;
 use guanyu::faults::FaultKind;
 use guanyu::lockstep::{LockstepConfig, LockstepTrainer};
+use guanyu::node::QuorumMode;
 use guanyu::protocol::{build_simulation_net, ProtocolConfig};
 use guanyu::trace::Trace;
 use guanyu::Result;
+use guanyu_runtime::{run_cluster, RuntimeConfig, TransportKind};
 use nn::{models, LrSchedule, Sequential};
 use simnet::{FaultPlan, NodeId, SimTime};
 use tensor::{Tensor, TensorRng};
@@ -14,12 +18,19 @@ use tensor::{Tensor, TensorRng};
 use crate::scenario::Scenario;
 
 /// Which engine produced a [`ScenarioRun`].
+///
+/// All three run the same [`guanyu::node`] machines in
+/// [`QuorumMode::Planned`], so on a common scenario their traces are
+/// bit-identical — the property the differential chaos checker leans on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
     /// The round-structured engine (`guanyu::lockstep`).
     Lockstep,
     /// The event-driven engine over `simnet` (`guanyu::protocol`).
     EventDriven,
+    /// The thread-per-node engine over real transports
+    /// (`guanyu_runtime::cluster`).
+    Threaded,
 }
 
 impl std::fmt::Display for Engine {
@@ -27,6 +38,7 @@ impl std::fmt::Display for Engine {
         match self {
             Engine::Lockstep => write!(f, "lockstep"),
             Engine::EventDriven => write!(f, "event-driven"),
+            Engine::Threaded => write!(f, "threaded"),
         }
     }
 }
@@ -107,10 +119,12 @@ pub fn run_lockstep(scn: &Scenario) -> Result<ScenarioRun> {
     })
 }
 
-/// Compiles the round-indexed schedule to a [`FaultPlan`] over simulated
-/// time, mapping round `r` to `[r · round_secs, …)`. Attack windows are
-/// *not* compiled here — they gate on message step numbers inside the
-/// protocol nodes, which is exact.
+/// Compiles the *timing* faults of the schedule to a [`FaultPlan`] over
+/// simulated time, mapping round `r` to `[r · round_secs, …)`. Only delay
+/// spikes and stragglers compile: membership faults (crashes, partitions,
+/// churn) and attack windows gate on exact step numbers inside the shared
+/// node machines' planner, so compiling them here too would apply them
+/// twice — once exactly and once at the approximate time scale.
 fn compile_fault_plan(scn: &Scenario, round_secs: f64) -> FaultPlan {
     let servers = scn.cluster.servers;
     let t = |step: u64| SimTime::from_secs_f64(step as f64 * round_secs);
@@ -119,23 +133,6 @@ fn compile_fault_plan(scn: &Scenario, round_secs: f64) -> FaultPlan {
     for w in &scn.faults.windows {
         let (start, end) = (t(w.start), t(w.end));
         match &w.kind {
-            FaultKind::CrashServers { servers } => {
-                for &s in servers {
-                    plan = plan.crash(NodeId(s), start, end);
-                }
-            }
-            FaultKind::CrashWorkers { workers } => {
-                for &wk in workers {
-                    plan = plan.crash(worker_node(wk), start, end);
-                }
-            }
-            FaultKind::PartitionServers { groups } => {
-                let groups: Vec<Vec<NodeId>> = groups
-                    .iter()
-                    .map(|g| g.iter().map(|&s| NodeId(s)).collect())
-                    .collect();
-                plan = plan.partition(groups, start, end);
-            }
             FaultKind::DelaySpike { factor, extra_secs } => {
                 plan = plan.delay_spike(*factor, *extra_secs, start, end);
             }
@@ -147,16 +144,8 @@ fn compile_fault_plan(scn: &Scenario, round_secs: f64) -> FaultPlan {
                     plan = plan.straggler(worker_node(wk), *extra_secs, start, end);
                 }
             }
-            FaultKind::WorkerChurn { period, pool } if *period > 0 && *pool > 0 => {
-                let mut seg = w.start;
-                while seg < w.end {
-                    let victim = ((seg - w.start) / period) as usize % pool;
-                    let seg_end = (seg + period).min(w.end);
-                    plan = plan.crash(worker_node(victim), t(seg), t(seg_end));
-                    seg = seg_end;
-                }
-            }
-            // Attack windows gate inside the protocol nodes.
+            // Membership faults and attack windows gate inside the node
+            // machines, exactly per step.
             _ => {}
         }
     }
@@ -177,9 +166,13 @@ fn protocol_config(scn: &Scenario) -> ProtocolConfig {
         server_attack: scn.server_attack,
         worker_attack_windows: scn.faults.worker_attack_windows(),
         server_attack_windows: scn.faults.server_attack_windows(),
-        // Scenario fault plans drop messages, so stale quorums may never
-        // fill: nodes that lose rounds must rejoin by fast-forward.
+        // Crash windows make nodes lose rounds: they must rejoin by
+        // fast-forward.
         recovery: true,
+        // Planned membership: the trace is a pure function of seed +
+        // scenario, bit-identical across all three engines.
+        mode: QuorumMode::Planned,
+        faults: scn.faults.clone(),
     }
 }
 
@@ -234,12 +227,15 @@ pub fn run_event_with(scn: &Scenario, round_secs: f64) -> Result<ScenarioRun> {
     let (sim, rec) = build_simulation_net(&cfg, &builder, train, scn.seed, &scn.network)?;
     let mut sim = sim.with_faults(plan);
     sim.run();
-    let dropped = sim.stats().messages_dropped;
+    let sim_dropped = sim.stats().messages_dropped;
     let queue_drops = sim.stats().queue_drops;
     let retransmits = sim.stats().retransmits;
     let sim_secs = sim.now().as_secs_f64();
 
     let rec = rec.borrow();
+    // Losses have two layers now: the network plane (dropped in flight)
+    // and the machines (discarded on arrival — stale, crashed, partition).
+    let dropped = sim_dropped + rec.discarded;
     let finishers = rec.servers_finishing(scn.steps.saturating_sub(1));
     let final_params: Vec<Tensor> = finishers
         .iter()
@@ -255,6 +251,60 @@ pub fn run_event_with(scn: &Scenario, round_secs: f64) -> Result<ScenarioRun> {
         queue_drops,
         retransmits,
         sim_secs,
+    })
+}
+
+/// Runs the scenario on the threaded engine (in-process channel
+/// transport, one OS thread per node). Planned quorums make its trace
+/// bit-identical to the other two engines; the network model is ignored —
+/// frames travel at wall-clock channel speed.
+///
+/// # Errors
+///
+/// Propagates configuration and substrate errors; a wedged run surfaces
+/// as a wall-timeout error rather than a hang.
+pub fn run_threaded(scn: &Scenario) -> Result<ScenarioRun> {
+    let (train, _) = synthetic_cifar(&scn.data)?;
+    let cfg = RuntimeConfig {
+        cluster: scn.cluster,
+        max_steps: scn.steps,
+        lr: LrSchedule::constant(0.05),
+        server_gar: aggregation::GarKind::MultiKrum,
+        batch_size: scn.batch_size,
+        seed: scn.seed,
+        actual_byz_workers: scn.actual_byz_workers,
+        worker_attack: scn.worker_attack,
+        actual_byz_servers: scn.actual_byz_servers,
+        server_attack: scn.server_attack,
+        wall_timeout: Duration::from_secs(120),
+        transport: TransportKind::Channel,
+        shards: 1,
+        recovery: true,
+        mode: QuorumMode::Planned,
+        faults: scn.faults.clone(),
+    };
+    let report = run_cluster(&cfg, model_builder(scn), train)?;
+    let finishers: Vec<usize> = report
+        .final_steps
+        .iter()
+        .enumerate()
+        .filter(|&(_, &step)| step >= scn.steps)
+        .map(|(s, _)| s)
+        .collect();
+    let final_params: Vec<Tensor> = finishers
+        .iter()
+        .map(|&s| report.final_params[s].clone())
+        .collect();
+    Ok(ScenarioRun {
+        engine: Engine::Threaded,
+        trace: report.trace,
+        finishers,
+        final_params,
+        diverged: false,
+        messages_dropped: report.dropped_sends,
+        queue_drops: 0,
+        retransmits: 0,
+        sim_secs: report.wall_secs,
     })
 }
 
@@ -292,13 +342,35 @@ mod tests {
     }
 
     #[test]
-    fn churn_compiles_to_rolling_crashes() {
-        let scn = Scenario::baseline("t", 5).with_fault(
-            0,
-            6,
-            FaultKind::WorkerChurn { period: 2, pool: 3 },
-        );
+    fn only_timing_faults_compile_to_the_sim_plan() {
+        // Membership faults (churn, crashes, partitions) gate inside the
+        // node machines — compiling them into the sim plan too would
+        // apply them twice.
+        let scn = Scenario::baseline("t", 5)
+            .with_fault(0, 6, FaultKind::WorkerChurn { period: 2, pool: 3 })
+            .with_fault(1, 2, FaultKind::CrashServers { servers: vec![1] })
+            .with_fault(
+                2,
+                4,
+                FaultKind::DelaySpike {
+                    factor: 2.0,
+                    extra_secs: 0.01,
+                },
+            );
         let plan = compile_fault_plan(&scn, 1.0);
-        assert_eq!(plan.len(), 3, "three two-round crash segments");
+        assert_eq!(plan.len(), 1, "only the delay spike compiles");
+    }
+
+    #[test]
+    fn threaded_run_matches_lockstep_trace() {
+        let scn = Scenario::baseline("t", 4);
+        let lock = run_lockstep(&scn).unwrap();
+        let thr = run_threaded(&scn).unwrap();
+        assert_eq!(thr.finishers, lock.finishers);
+        assert_eq!(
+            thr.fingerprint(),
+            lock.fingerprint(),
+            "threaded and lockstep traces must be bit-identical"
+        );
     }
 }

@@ -42,6 +42,8 @@ fn run(label: &str, schedule: AdversarialSchedule) {
         worker_attack_windows: Vec::new(),
         server_attack_windows: Vec::new(),
         recovery: false,
+        mode: guanyu::node::QuorumMode::Arrival,
+        faults: guanyu::faults::FaultSchedule::none(),
     };
     let (sim, recorder) = build_simulation(
         &cfg,

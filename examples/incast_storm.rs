@@ -42,6 +42,8 @@ fn run(oversubscription: f64) {
         worker_attack_windows: Vec::new(),
         server_attack_windows: Vec::new(),
         recovery: true,
+        mode: guanyu::node::QuorumMode::Arrival,
+        faults: guanyu::faults::FaultSchedule::none(),
     };
 
     let network = NetworkModel::Switched {

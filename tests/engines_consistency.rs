@@ -1,7 +1,10 @@
 //! Cross-engine consistency: the lockstep engine, the event-driven
-//! simulator and the threaded runtime implement the *same protocol*, so on
-//! the same workload all three must (a) make progress, (b) keep honest
-//! servers in agreement, and (c) produce models that learn.
+//! simulator and the threaded runtime are thin drivers over the *same*
+//! sans-I/O node machine (`guanyu::node`, DESIGN.md §11), so on the same
+//! workload all three must (a) make progress, (b) keep honest servers in
+//! agreement, (c) produce models that learn — and, in planned-quorum
+//! mode, (d) produce **bit-identical** per-round traces, scenario by
+//! scenario across the whole fault matrix, crash recovery included.
 
 use std::time::Duration;
 
@@ -77,6 +80,8 @@ fn run_event_driven(test: &Dataset) -> f32 {
         worker_attack_windows: Vec::new(),
         server_attack_windows: Vec::new(),
         recovery: false,
+        mode: guanyu::node::QuorumMode::Arrival,
+        faults: guanyu::faults::FaultSchedule::none(),
     };
     let (mut sim, rec) = build_simulation(&cfg, builder, train, 5, DelayModel::grid5000()).unwrap();
     sim.run();
@@ -136,6 +141,8 @@ fn event_driven_and_threaded_tolerate_byzantine_workers() {
         worker_attack_windows: Vec::new(),
         server_attack_windows: Vec::new(),
         recovery: false,
+        mode: guanyu::node::QuorumMode::Arrival,
+        faults: guanyu::faults::FaultSchedule::none(),
     };
     let (mut sim, rec) =
         build_simulation(&cfg, builder, train.clone(), 6, DelayModel::grid5000()).unwrap();
@@ -293,6 +300,69 @@ fn four_shard_groups_still_match_unsharded() {
     assert_eq!(flat.trace, sharded.trace);
     for (a, b) in flat.final_params.iter().zip(&sharded.final_params) {
         assert_eq!(a.as_slice(), b.as_slice());
+    }
+}
+
+/// The full scenario matrix, once per engine per scenario: every entry's
+/// planned-mode trace must be bit-identical across the three drivers
+/// (`tests/scenario_matrix.rs` additionally replays each engine twice for
+/// the determinism half of the contract).
+#[test]
+fn scenario_matrix_traces_are_bit_identical_across_all_three_drivers() {
+    let matrix = scenario::matrix(40);
+    assert!(matrix.len() >= 9, "matrix shrank to {}", matrix.len());
+    for scn in &matrix {
+        let lock = scenario::run_lockstep(scn)
+            .unwrap_or_else(|e| panic!("{}: lockstep failed: {e}", scn.name));
+        let event =
+            scenario::run_event(scn).unwrap_or_else(|e| panic!("{}: event failed: {e}", scn.name));
+        let threaded = scenario::run_threaded(scn)
+            .unwrap_or_else(|e| panic!("{}: threaded failed: {e}", scn.name));
+        assert_eq!(
+            lock.trace, event.trace,
+            "{}: lockstep vs event-driven trace",
+            scn.name
+        );
+        assert_eq!(
+            lock.trace, threaded.trace,
+            "{}: lockstep vs threaded trace",
+            scn.name
+        );
+        assert_eq!(lock.fingerprint(), event.fingerprint(), "{}", scn.name);
+        assert_eq!(lock.fingerprint(), threaded.fingerprint(), "{}", scn.name);
+    }
+}
+
+/// Crash recovery is where engines historically drift (freeze-until vs
+/// adopt-and-fast-forward semantics live in the machine now, not in the
+/// drivers): a server crashed mid-run must rejoin by adopting a quorate
+/// exchange, and the whole episode — freeze, discards, adoption, the
+/// rounds after — must digest bit-identically on all three drivers, down
+/// to the final parameter vectors of every finisher.
+#[test]
+fn crash_recovery_is_bit_identical_across_all_three_drivers() {
+    use guanyu::faults::FaultKind;
+    let scn = scenario::Scenario::baseline("crash-recovery-xengine", 93).with_fault(
+        2,
+        4,
+        FaultKind::CrashServers { servers: vec![1] },
+    );
+    let lock = scenario::run_lockstep(&scn).unwrap();
+    let event = scenario::run_event(&scn).unwrap();
+    let threaded = scenario::run_threaded(&scn).unwrap();
+    assert_eq!(lock.trace, event.trace, "lockstep vs event-driven");
+    assert_eq!(lock.trace, threaded.trace, "lockstep vs threaded");
+    assert_eq!(lock.finishers, event.finishers);
+    assert_eq!(lock.finishers, threaded.finishers);
+    for (engine, run) in [("event-driven", &event), ("threaded", &threaded)] {
+        assert_eq!(lock.final_params.len(), run.final_params.len());
+        for (i, (a, b)) in lock.final_params.iter().zip(&run.final_params).enumerate() {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "server {i}: lockstep vs {engine} final params"
+            );
+        }
     }
 }
 

@@ -63,6 +63,14 @@ fn guanyu_survives_every_worker_attack() {
 }
 
 /// GuanYu's accuracy under every server attack at the declared bound.
+///
+/// `Orthogonal` gets the same relaxed bar as the worker case above: the
+/// Byzantine server machine forges its norm-matched drift from the
+/// previous round's *observed* honest exchanges (the causally-correct
+/// asynchronous behaviour), and where honest replicas straddle the
+/// forgery the per-coordinate median can sit on the drifted value — so
+/// under stealth drift GuanYu must stay safe (finite loss, accuracy well
+/// above the 10% chance floor), not train as if unattacked.
 #[test]
 fn guanyu_survives_every_server_attack() {
     let attacks = [
@@ -70,9 +78,6 @@ fn guanyu_survives_every_server_attack() {
         AttackKind::Equivocate { scale: 50.0 },
         AttackKind::LargeValue { value: 1e8 },
         AttackKind::Mute,
-        // One orthogonal-drift server is harmless to the coordinate-wise
-        // median fold (unlike the duplicate-worker case against
-        // Multi-Krum below).
         AttackKind::Orthogonal,
     ];
     for attack in attacks {
@@ -80,11 +85,17 @@ fn guanyu_survives_every_server_attack() {
         c.actual_byz_servers = 1;
         c.server_attack = Some(attack);
         let r = run(SystemKind::GuanYu, &c).unwrap();
+        let floor = if attack == AttackKind::Orthogonal {
+            0.25
+        } else {
+            0.35
+        };
         assert!(
-            r.best_accuracy() > 0.35,
-            "GuanYu under server {attack}: accuracy {} too low",
+            r.best_accuracy() > floor,
+            "GuanYu under server {attack}: accuracy {} below {floor}",
             r.best_accuracy()
         );
+        assert!(r.records.last().unwrap().loss.is_finite());
     }
 }
 

@@ -28,16 +28,21 @@ fn every_committed_reproducer_replays_to_its_expectation() {
 }
 
 #[test]
-fn the_known_violation_is_recorded_as_one() {
+fn the_budget_rule_still_rejects_the_historic_violation() {
     // The crash_plus_mute_server reproducer documents the quorum budget
     // rule (environmental crashes and the actual adversary share the
-    // declared f): it must stay recorded as a violation, not a pass.
+    // declared f). Under planned quorum membership the shared machines
+    // absorb the over-budget loss — degraded folds are skipped, never
+    // stalled, and a stranded server halts instead of hanging a driver —
+    // so the file now replays to Pass on all three engines. The rule
+    // itself is unchanged: the generator must keep rejecting this
+    // schedule, or chaos sampling would wander out of the paper's bounds.
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/scenarios/crash_plus_mute_server.scenario.json");
     let file = ScenarioFile::load(&path).unwrap();
     assert!(
-        matches!(file.expect, scenario::Expectation::Violation { .. }),
-        "crash_plus_mute_server must record a violation, found {}",
+        matches!(file.expect, scenario::Expectation::Pass),
+        "crash_plus_mute_server replays clean on the shared machines, found {}",
         file.expect
     );
     assert!(

@@ -67,6 +67,8 @@ fn event_driven_engine_is_bit_reproducible() {
             worker_attack_windows: Vec::new(),
             server_attack_windows: Vec::new(),
             recovery: false,
+            mode: guanyu::node::QuorumMode::Arrival,
+            faults: guanyu::faults::FaultSchedule::none(),
         };
         let train = synthetic_cifar(&SyntheticConfig {
             train: 64,
@@ -108,6 +110,8 @@ fn switched_event_engine_is_bit_reproducible() {
             worker_attack_windows: Vec::new(),
             server_attack_windows: Vec::new(),
             recovery: true,
+            mode: guanyu::node::QuorumMode::Arrival,
+            faults: guanyu::faults::FaultSchedule::none(),
         };
         let train = synthetic_cifar(&SyntheticConfig {
             train: 64,
